@@ -1,0 +1,310 @@
+// Benchmarks regenerating the paper's evaluation, one target per table and
+// figure, plus ablations of the design choices called out in DESIGN.md.
+//
+// The benchmarks run at the 4×-reduced scale (0.5 mm pitch, 80-edge
+// separation) so `go test -bench=.` completes in minutes; `go run
+// ./cmd/tables -scale paper` regenerates the full 200×200 configuration,
+// recorded in EXPERIMENTS.md. Custom metrics report the paper's effort
+// columns: configurations investigated and peak queue size.
+package clockroute
+
+import (
+	"fmt"
+	"testing"
+
+	"clockroute/internal/bench"
+	"clockroute/internal/core"
+	"clockroute/internal/latch"
+	"clockroute/internal/mazeroute"
+	"clockroute/internal/mcfifo"
+	"clockroute/internal/tech"
+	"clockroute/internal/wavefront"
+)
+
+func reducedProblem(b *testing.B) *core.Problem {
+	b.Helper()
+	prob, err := bench.ReducedScale().Build(tech.CongPan70nm())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob
+}
+
+// BenchmarkTableI_FastPath is Table I's first row: the unclocked minimum
+// delay baseline (T = ∞).
+func BenchmarkTableI_FastPath(b *testing.B) {
+	prob := reducedProblem(b)
+	var configs, maxq int
+	for i := 0; i < b.N; i++ {
+		res, err := core.FastPath(prob, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs, maxq = res.Stats.Configs, res.Stats.MaxQSize
+	}
+	b.ReportMetric(float64(configs), "configs/op")
+	b.ReportMetric(float64(maxq), "maxQ/op")
+}
+
+// BenchmarkTableI_RBP runs one sub-benchmark per Table I row: RBP at the
+// fastest period achieving each register count.
+func BenchmarkTableI_RBP(b *testing.B) {
+	tc := tech.CongPan70nm()
+	s := bench.ReducedScale()
+	periods, targets, err := bench.FastestPeriods(tc, s, []int{1, 2, 3, 5, 7, 9, 39, 79})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob, err := s.Build(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, T := range periods {
+		b.Run(fmt.Sprintf("regs=%d/T=%.0f", targets[i], T), func(b *testing.B) {
+			var configs, maxq int
+			for n := 0; n < b.N; n++ {
+				res, err := core.RBP(prob, T, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				configs, maxq = res.Stats.Configs, res.Stats.MaxQSize
+			}
+			b.ReportMetric(float64(configs), "configs/op")
+			b.ReportMetric(float64(maxq), "maxQ/op")
+		})
+	}
+}
+
+// BenchmarkTableII runs one sub-benchmark per grid pitch at a fixed period,
+// showing the runtime-vs-grid-size trend of Table II.
+func BenchmarkTableII_GridSize(b *testing.B) {
+	tc := tech.CongPan70nm()
+	for _, pitch := range []float64{1.0, 0.5, 0.25} {
+		s := bench.PaperScale().WithPitch(pitch)
+		prob, err := s.Build(tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, h := s.GridDims()
+		b.Run(fmt.Sprintf("grid=%dx%d", w, h), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := core.RBP(prob, 343, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIII_GALS runs one sub-benchmark per (Ts, Tt) pair of
+// Table III.
+func BenchmarkTableIII_GALS(b *testing.B) {
+	prob := reducedProblem(b)
+	for _, pair := range bench.TableIIIPairs() {
+		b.Run(fmt.Sprintf("Ts=%.0f/Tt=%.0f", pair[0], pair[1]), func(b *testing.B) {
+			var configs int
+			for n := 0; n < b.N; n++ {
+				res, err := core.GALS(prob, pair[0], pair[1], core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				configs = res.Stats.Configs
+			}
+			b.ReportMetric(float64(configs), "configs/op")
+		})
+	}
+}
+
+// BenchmarkFigure6_Wavefront regenerates the Fig. 6 wave-front expansion
+// (RBP with the recorder attached), measuring tracing overhead too.
+func BenchmarkFigure6_Wavefront(b *testing.B) {
+	prob := reducedProblem(b)
+	for i := 0; i < b.N; i++ {
+		rec := wavefront.NewRecorder(prob.Grid)
+		if _, err := core.RBP(prob, 300, core.Options{Trace: rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Pruning quantifies what (c,d) dominance pruning buys:
+// the same small instance with pruning on and off.
+func BenchmarkAblation_Pruning(b *testing.B) {
+	s := bench.ReducedScale().WithPitch(2.0) // tiny reach keeps "off" finite
+	prob, err := s.Build(tech.CongPan70nm())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"on", core.Options{}},
+		{"off", core.Options{DisablePruning: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var configs int
+			for n := 0; n < b.N; n++ {
+				res, err := core.RBP(prob, 400, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				configs = res.Stats.Configs
+			}
+			b.ReportMetric(float64(configs), "configs/op")
+		})
+	}
+}
+
+// BenchmarkAblation_Lookahead measures the edge feasibility look-ahead
+// (d' ≤ T − K(r) − min(R)·c') of RBP step 5.
+func BenchmarkAblation_Lookahead(b *testing.B) {
+	prob := reducedProblem(b)
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"on", core.Options{}},
+		{"off", core.Options{DisableLookahead: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var configs int
+			for n := 0; n < b.N; n++ {
+				res, err := core.RBP(prob, 300, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				configs = res.Stats.Configs
+			}
+			b.ReportMetric(float64(configs), "configs/op")
+		})
+	}
+}
+
+// BenchmarkAblation_QueueDiscipline compares the published two-queue RBP
+// against the array-of-queues alternative of Section III.
+func BenchmarkAblation_QueueDiscipline(b *testing.B) {
+	prob := reducedProblem(b)
+	b.Run("two-queue", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := core.RBP(prob, 300, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("array", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := core.RBPArrayQueues(prob, 300, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_SimultaneousVsRouteFirst compares RBP to the naive
+// route-then-insert baseline on the same instance.
+func BenchmarkAblation_SimultaneousVsRouteFirst(b *testing.B) {
+	prob := reducedProblem(b)
+	b.Run("rbp", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := core.RBP(prob, 300, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("route-then-insert", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := mazeroute.Route(prob, 300); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMCFIFO_Simulation measures the behavioral channel substrate:
+// packets per second through the relay-station/MCFIFO pipeline.
+func BenchmarkMCFIFO_Simulation(b *testing.B) {
+	ch, err := mcfifo.New(mcfifo.Config{
+		Ts: 200, Tt: 300, SenderStations: 4, ReceiverStations: 3, FIFODepth: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pkts = 1000
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ch.Simulate(pkts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pkts, "packets/op")
+}
+
+// BenchmarkExtension_LatchVsRegister compares the latch-based router (time
+// borrowing) against RBP on the same instance — the latch-aware routing
+// extension.
+func BenchmarkExtension_LatchVsRegister(b *testing.B) {
+	prob := reducedProblem(b)
+	lt := tech.CongPan70nm().Latch()
+	b.Run("rbp", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := core.RBP(prob, 400, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("latch", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := latch.Route(prob, 400, lt, 0, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtension_MaxSlack measures the cost of the 3-D pruning and
+// full-wave drain of the max-slack variant.
+func BenchmarkExtension_MaxSlack(b *testing.B) {
+	prob := reducedProblem(b)
+	b.Run("first-found", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := core.RBP(prob, 400, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("max-slack", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := core.RBP(prob, 400, core.Options{MaximizeSlack: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtension_MultiSizeLibrary measures the cost of the 3-size
+// buffer library against the paper's single size.
+func BenchmarkExtension_MultiSizeLibrary(b *testing.B) {
+	s := bench.ReducedScale()
+	single, err := s.Build(tech.CongPan70nm())
+	if err != nil {
+		b.Fatal(err)
+	}
+	multi, err := s.Build(tech.CongPan70nmMultiSize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := core.RBP(single, 400, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multi", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := core.RBP(multi, 400, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

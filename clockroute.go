@@ -1,0 +1,260 @@
+// Package clockroute is a library for optimal path routing in single- and
+// multiple-clock domain systems-on-chip, reproducing Hassoun & Alpert,
+// "Optimal Path Routing in Single- and Multiple-Clock Domain Systems"
+// (IEEE TCAD, 2003).
+//
+// It finds source-to-sink routes on a grid over the chip while
+// simultaneously inserting buffers and synchronization elements:
+//
+//   - FastPath — minimum Elmore-delay buffered routing (the Zhou et al.
+//     baseline the paper builds on);
+//   - RBP — minimum cycle-latency routing with registers for a single clock
+//     domain: every register-to-register segment meets the clock period;
+//   - GALS — minimum-latency routing between two clock domains through a
+//     mixed-clock FIFO, with relay stations on both sides.
+//
+// All three are optimal polynomial-time dynamic programs. The package also
+// provides the surrounding system: technology/delay models, floorplan-driven
+// blockage maps, an interconnect planner producing RTL latency annotations,
+// a cycle-accurate behavioral simulation of the MCFIFO/relay-station
+// substrate, and an experiment harness regenerating the paper's tables.
+//
+// # Quick start
+//
+//	g := clockroute.NewGrid(201, 201, 0.125)          // 25 mm die
+//	g.AddObstacle(clockroute.R(40, 40, 80, 80))        // an IP macro
+//	tech := clockroute.DefaultTech()                   // calibrated 0.07 µm
+//	prob, _ := clockroute.NewProblem(g, tech, clockroute.Pt(20, 20), clockroute.Pt(180, 180))
+//	res, _ := clockroute.RBP(prob, 500 /*ps*/, clockroute.Options{})
+//	fmt.Println(res.Latency, res.Registers, res.Path)
+//
+// See the examples directory for runnable scenarios.
+package clockroute
+
+import (
+	"clockroute/internal/candidate"
+	"clockroute/internal/core"
+	"clockroute/internal/elmore"
+	"clockroute/internal/floorplan"
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+	"clockroute/internal/latch"
+	"clockroute/internal/mcfifo"
+	"clockroute/internal/planner"
+	"clockroute/internal/route"
+	"clockroute/internal/tech"
+	"clockroute/internal/wavefront"
+)
+
+// Core geometry and grid types.
+type (
+	// Point is an integer grid coordinate.
+	Point = geom.Point
+	// Rect is a half-open rectangle of grid points.
+	Rect = geom.Rect
+	// Grid is the routing graph with blockage maps.
+	Grid = grid.Grid
+)
+
+// Technology and delay modeling.
+type (
+	// Tech bundles the wire RC model and the element library.
+	Tech = tech.Tech
+	// Element is the switch-level model of a buffer, register, or MCFIFO.
+	Element = tech.Element
+	// Model evaluates Elmore delays for a technology at a grid pitch.
+	Model = elmore.Model
+)
+
+// Routing problem and results.
+type (
+	// Problem is a routing instance: grid, model, source, sink.
+	Problem = core.Problem
+	// Options tunes a search run; the zero value is the published setup.
+	Options = core.Options
+	// Result is a routing outcome with its statistics.
+	Result = core.Result
+	// Stats records search effort (configurations, queue sizes, time).
+	Stats = core.Stats
+	// Path is the routed node sequence with its element labeling.
+	Path = route.Path
+	// Gate labels one inserted element on a path.
+	Gate = candidate.Gate
+	// Tracer observes wavefront expansion (see wavefront.Recorder).
+	Tracer = core.Tracer
+)
+
+// System-level components.
+type (
+	// Floorplan places IP blocks whose shadows become routing blockages.
+	Floorplan = floorplan.Floorplan
+	// Block is one floorplan component.
+	Block = floorplan.Block
+	// Planner routes block-to-block nets over a floorplan.
+	Planner = planner.Planner
+	// NetSpec requests one point-to-point net.
+	NetSpec = planner.NetSpec
+	// Plan is a set of routed nets with a latency report.
+	Plan = planner.Plan
+	// FIFOChannel simulates the MCFIFO/relay-station substrate.
+	FIFOChannel = mcfifo.Channel
+	// FIFOConfig configures a FIFOChannel.
+	FIFOConfig = mcfifo.Config
+	// WavefrontRecorder records expansion waves for visualization.
+	WavefrontRecorder = wavefront.Recorder
+)
+
+// ErrNoPath is returned when no feasible routing solution exists.
+var ErrNoPath = core.ErrNoPath
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return geom.Pt(x, y) }
+
+// R builds a Rect from two corners in any order.
+func R(x0, y0, x1, y1 int) Rect { return geom.R(x0, y0, x1, y1) }
+
+// NewGrid returns an open w×h routing grid with the given pitch in mm.
+// It panics on invalid dimensions; use grid sizes of at least 2×1 and a
+// positive pitch.
+func NewGrid(w, h int, pitchMM float64) *Grid { return grid.MustNew(w, h, pitchMM) }
+
+// DefaultTech returns the calibrated 0.07 µm technology of the paper's
+// experiments (Cong–Pan estimates; see DESIGN.md for the calibration).
+func DefaultTech() *Tech { return tech.CongPan70nm() }
+
+// NewProblem builds a routing instance on g between the source and sink
+// grid points, deriving the delay model from tc at g's pitch.
+func NewProblem(g *Grid, tc *Tech, src, dst Point) (*Problem, error) {
+	m, err := elmore.NewModel(tc, g.PitchMM())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProblem(g, m, g.ID(src), g.ID(dst))
+}
+
+// FastPath finds the minimum-delay buffered path (no registers).
+func FastPath(p *Problem, opts Options) (*Result, error) { return core.FastPath(p, opts) }
+
+// RBP finds the minimum cycle-latency registered-buffered path for a single
+// clock domain with period T (in ps).
+func RBP(p *Problem, T float64, opts Options) (*Result, error) { return core.RBP(p, T, opts) }
+
+// RBPArrayQueues is RBP's array-of-queues variant (identical results).
+func RBPArrayQueues(p *Problem, T float64, opts Options) (*Result, error) {
+	return core.RBPArrayQueues(p, T, opts)
+}
+
+// GALS finds the minimum-latency path between a source clocked at Ts and a
+// sink clocked at Tt, inserting exactly one mixed-clock FIFO.
+func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
+	return core.GALS(p, Ts, Tt, opts)
+}
+
+// LatchResult reports a transparent-latch route (the latch-based routing
+// extension; see internal/latch).
+type LatchResult = latch.Result
+
+// LatchRoute finds the minimum-latency buffered path synchronized with
+// two-phase transparent latches instead of registers, exploiting time
+// borrowing. maxCycles bounds the latency search (0 = default).
+func LatchRoute(p *Problem, T float64, maxCycles int, opts Options) (*LatchResult, error) {
+	return latch.Route(p, T, p.Model.Tech().Latch(), maxCycles, opts)
+}
+
+// VerifyLatch independently re-checks a latch route by forward simulation
+// of the transparency windows.
+func VerifyLatch(p *Path, g *Grid, tc *Tech, T float64, cycles int) error {
+	m, err := elmore.NewModel(tc, g.PitchMM())
+	if err != nil {
+		return err
+	}
+	return latch.Verify(p, g, m, T, cycles)
+}
+
+// VerifySingleClock independently re-checks an RBP result against the grid
+// and period, returning the verified cycle latency.
+func VerifySingleClock(p *Path, g *Grid, tc *Tech, T float64) (float64, error) {
+	m, err := elmore.NewModel(tc, g.PitchMM())
+	if err != nil {
+		return 0, err
+	}
+	return route.VerifySingleClock(p, g, m, T)
+}
+
+// VerifyMultiClock independently re-checks a GALS result, returning the
+// verified total latency.
+func VerifyMultiClock(p *Path, g *Grid, tc *Tech, Ts, Tt float64) (float64, error) {
+	m, err := elmore.NewModel(tc, g.PitchMM())
+	if err != nil {
+		return 0, err
+	}
+	return route.VerifyMultiClock(p, g, m, Ts, Tt)
+}
+
+// NewPlanner builds an interconnect planner over a floorplan.
+func NewPlanner(fp *Floorplan, tc *Tech, opts Options) (*Planner, error) {
+	return planner.New(fp, tc, opts)
+}
+
+// NetBetween builds a NetSpec connecting two block ports, inferring clock
+// periods from the floorplan (defaultPeriod for chip-clocked blocks).
+func NetBetween(fp *Floorplan, name string, fromBlock string, fromSide BlockSide,
+	toBlock string, toSide BlockSide, defaultPeriod float64) (NetSpec, error) {
+	return planner.NetBetween(fp, name,
+		planner.Endpoint{Block: fromBlock, Side: fromSide},
+		planner.Endpoint{Block: toBlock, Side: toSide}, defaultPeriod)
+}
+
+// BlockSide selects a block boundary for pin placement.
+type BlockSide = floorplan.Side
+
+// Block boundary sides.
+const (
+	SideEast  = floorplan.SideEast
+	SideWest  = floorplan.SideWest
+	SideNorth = floorplan.SideNorth
+	SideSouth = floorplan.SideSouth
+)
+
+// Floorplan block kinds.
+const (
+	// HardIP blocks gate insertion; wires may pass over.
+	HardIP = floorplan.HardIP
+	// WiringDense blocks routing entirely.
+	WiringDense = floorplan.WiringDense
+	// ClockQuiet forbids clocked elements only.
+	ClockQuiet = floorplan.ClockQuiet
+)
+
+// SoC25mm returns the paper's 25×25 mm experimental die with a
+// representative set of IP blocks at the given grid pitch.
+func SoC25mm(pitchMM float64) (*Floorplan, error) { return floorplan.SoC25mm(pitchMM) }
+
+// RandomFloorplan generates a seeded random floorplan with n blocks.
+func RandomFloorplan(seed int64, gridW, gridH int, pitchMM float64, n int) (*Floorplan, error) {
+	return floorplan.Random(seed, gridW, gridH, pitchMM, n)
+}
+
+// NewFIFOChannel builds a behavioral mixed-clock channel simulation.
+func NewFIFOChannel(cfg FIFOConfig) (*FIFOChannel, error) { return mcfifo.New(cfg) }
+
+// FIFOFromResult derives the channel configuration that a GALS routing
+// result implies: its per-side relay-station counts and the two periods.
+func FIFOFromResult(res *Result, Ts, Tt float64, depth int) (FIFOConfig, error) {
+	if res == nil || res.Path == nil || res.Path.FIFOIndex() < 0 {
+		return FIFOConfig{}, ErrNoPath
+	}
+	regS, regT := res.Path.RegistersBySide()
+	cfg := FIFOConfig{
+		Ts: Ts, Tt: Tt,
+		SenderStations:   regS,
+		ReceiverStations: regT,
+		FIFODepth:        depth,
+	}
+	return cfg, cfg.Validate()
+}
+
+// NewWavefrontRecorder builds a tracer that records which wave first
+// reached every node; pass it via Options.Trace and render with its
+// Render/Summary methods.
+func NewWavefrontRecorder(g *Grid) *WavefrontRecorder { return wavefront.NewRecorder(g) }

@@ -1,0 +1,118 @@
+// Command galsroute routes one net between two clock domains with the GALS
+// algorithm, inserting relay stations and exactly one mixed-clock FIFO, and
+// optionally validates the result in the behavioral channel simulation.
+//
+// Usage:
+//
+//	galsroute -grid 201x201 -pitch 0.125 -src 20,20 -dst 180,180 \
+//	          -ts 300 -tt 250 -obstacle 60,60,120,120 -simulate 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clockroute/internal/cliutil"
+	"clockroute/internal/core"
+	"clockroute/internal/elmore"
+	"clockroute/internal/grid"
+	"clockroute/internal/mcfifo"
+	"clockroute/internal/route"
+	"clockroute/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("galsroute: ")
+
+	var (
+		gridSize                         = flag.String("grid", "101x101", "grid size WxH in nodes")
+		pitch                            = flag.Float64("pitch", 0.25, "grid pitch in mm")
+		srcFlag                          = flag.String("src", "5,5", "source node x,y")
+		dstFlag                          = flag.String("dst", "95,95", "sink node x,y")
+		ts                               = flag.Float64("ts", 300, "source domain clock period in ps")
+		tt                               = flag.Float64("tt", 300, "sink domain clock period in ps")
+		simulate                         = flag.Int("simulate", 0, "push N packets through the behavioral MCFIFO channel")
+		depth                            = flag.Int("fifodepth", 2, "MCFIFO capacity in words for -simulate")
+		obstacles, wireblocks, regblocks cliutil.RectList
+	)
+	flag.Var(&obstacles, "obstacle", "physical obstacle rect x0,y0,x1,y1 (repeatable)")
+	flag.Var(&wireblocks, "wireblock", "wiring blockage rect (repeatable)")
+	flag.Var(&regblocks, "regblock", "register blockage rect (repeatable)")
+	flag.Parse()
+
+	w, h, err := cliutil.ParseGridSize(*gridSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := cliutil.ParsePoint(*srcFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := cliutil.ParsePoint(*dstFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := grid.New(w, h, *pitch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range obstacles {
+		g.AddObstacle(r)
+	}
+	for _, r := range wireblocks {
+		g.AddWiringBlockage(r)
+	}
+	for _, r := range regblocks {
+		g.AddRegisterBlockage(r)
+	}
+
+	tc := tech.CongPan70nm()
+	m, err := elmore.NewModel(tc, *pitch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob, err := core.NewProblem(g, m, g.ID(src), g.ID(dst))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.GALS(prob, *ts, *tt, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := route.VerifyMultiClock(res.Path, g, m, *ts, *tt); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+
+	fmt.Printf("domains      Ts=%.0f ps (source), Tt=%.0f ps (sink)\n", *ts, *tt)
+	fmt.Printf("latency      %.0f ps = Ts*%d + Tt*%d\n", res.Latency, res.RegS+1, res.RegT+1)
+	fmt.Printf("relay stns   %d source-side, %d sink-side\n", res.RegS, res.RegT)
+	fmt.Printf("buffers      %d\n", res.Buffers)
+	fmt.Printf("MCFIFO at    %v\n", g.At(res.Path.Nodes[res.Path.FIFOIndex()]))
+	fmt.Printf("path length  %d edges (%.2f mm)\n", res.Path.Len(), float64(res.Path.Len())**pitch)
+	fmt.Printf("configs      %d, max queue %d, %v\n", res.Stats.Configs, res.Stats.MaxQSize, res.Stats.Elapsed)
+	fmt.Printf("labeling     %v\n", res.Path)
+
+	if *simulate > 0 {
+		cfg := mcfifo.Config{
+			Ts: *ts, Tt: *tt,
+			SenderStations: res.RegS, ReceiverStations: res.RegT,
+			FIFODepth: *depth,
+		}
+		ch, err := mcfifo.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkts, st, err := ch.Simulate(*simulate, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		first := pkts[0].ReceivedAt - pkts[0].LaunchedAt
+		fmt.Printf("\nbehavioral simulation (%d packets):\n", *simulate)
+		fmt.Printf("  first-word latency %.0f ps (model %.0f ps)\n", first, res.Latency)
+		fmt.Printf("  delivered %d in order, max FIFO occupancy %d\n", st.Delivered, st.MaxFIFOLevel)
+	}
+}

@@ -1,0 +1,98 @@
+// Command planner runs interconnect planning over a floorplan: it routes a
+// netlist of block-to-block connections (RBP within a domain, GALS across
+// domains) and prints the cycle-latency annotation report.
+//
+// Usage:
+//
+//	planner                    # the built-in 25 mm SoC and demo netlist
+//	planner -pitch 0.125 -clock 350
+//	planner -seed 7 -random 8  # a seeded random floorplan instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clockroute/internal/core"
+	"clockroute/internal/floorplan"
+	"clockroute/internal/planner"
+	"clockroute/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("planner: ")
+
+	var (
+		pitch  = flag.Float64("pitch", 0.25, "planning grid pitch in mm")
+		clock  = flag.Float64("clock", 500, "chip clock period in ps for blocks without a local clock")
+		random = flag.Int("random", 0, "use a random floorplan with this many blocks instead of the SoC demo")
+		seed   = flag.Int64("seed", 1, "seed for -random")
+	)
+	flag.Parse()
+
+	var fp *floorplan.Floorplan
+	var err error
+	if *random > 0 {
+		n := int(25.0 / *pitch)
+		fp, err = floorplan.Random(*seed, n+1, n+1, *pitch, *random)
+	} else {
+		fp, err = floorplan.SoC25mm(*pitch)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pl, err := planner.New(fp, tech.CongPan70nm(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var specs []planner.NetSpec
+	if *random > 0 {
+		// Connect consecutive random blocks east-to-west.
+		for i := 0; i+1 < len(fp.Blocks); i++ {
+			from, to := fp.Blocks[i], fp.Blocks[i+1]
+			s, err := planner.NetBetween(fp, fmt.Sprintf("%s-%s", from.Name, to.Name),
+				planner.Endpoint{Block: from.Name, Side: floorplan.SideEast},
+				planner.Endpoint{Block: to.Name, Side: floorplan.SideWest}, *clock)
+			if err != nil {
+				log.Printf("skipping %s-%s: %v", from.Name, to.Name, err)
+				continue
+			}
+			specs = append(specs, s)
+		}
+	} else {
+		for _, nd := range []struct {
+			name     string
+			from, to planner.Endpoint
+		}{
+			{"cpu-sram0", planner.Endpoint{Block: "cpu", Side: floorplan.SideSouth}, planner.Endpoint{Block: "sram0", Side: floorplan.SideNorth}},
+			{"cpu-sram1", planner.Endpoint{Block: "cpu", Side: floorplan.SideEast}, planner.Endpoint{Block: "sram1", Side: floorplan.SideWest}},
+			{"cpu-dsp", planner.Endpoint{Block: "cpu", Side: floorplan.SideEast}, planner.Endpoint{Block: "dsp", Side: floorplan.SideWest}},
+			{"dsp-sram1", planner.Endpoint{Block: "dsp", Side: floorplan.SideNorth}, planner.Endpoint{Block: "sram1", Side: floorplan.SideSouth}},
+			{"sram0-sram1", planner.Endpoint{Block: "sram0", Side: floorplan.SideEast}, planner.Endpoint{Block: "sram1", Side: floorplan.SideWest}},
+		} {
+			s, err := planner.NetBetween(fp, nd.name, nd.from, nd.to, *clock)
+			if err != nil {
+				log.Fatal(err)
+			}
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) == 0 {
+		log.Fatal("no routable nets")
+	}
+
+	plan, err := pl.PlanNets(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plan.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal routed wire %.1f mm across %d nets (%d failed)\n",
+		plan.TotalWireMM(), len(plan.Nets), len(plan.Failed()))
+}

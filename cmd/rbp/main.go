@@ -1,0 +1,123 @@
+// Command rbp routes one net in a single clock domain with the RBP
+// algorithm and reports the registered-buffered path.
+//
+// Usage:
+//
+//	rbp -grid 101x101 -pitch 0.25 -src 5,5 -dst 95,95 -period 400 \
+//	    -obstacle 30,30,60,60 -wireblock 70,0,72,40 -regblock 10,80,30,90 \
+//	    -render
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clockroute/internal/cliutil"
+	"clockroute/internal/core"
+	"clockroute/internal/elmore"
+	"clockroute/internal/grid"
+	"clockroute/internal/route"
+	"clockroute/internal/tech"
+	"clockroute/internal/wavefront"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rbp: ")
+
+	var (
+		gridSize                         = flag.String("grid", "101x101", "grid size WxH in nodes")
+		pitch                            = flag.Float64("pitch", 0.25, "grid pitch in mm")
+		srcFlag                          = flag.String("src", "5,5", "source node x,y")
+		dstFlag                          = flag.String("dst", "95,95", "sink node x,y")
+		period                           = flag.Float64("period", 400, "clock period in ps")
+		render                           = flag.Bool("render", false, "print the wavefront/path map")
+		variant                          = flag.String("variant", "two-queue", "implementation: two-queue | array")
+		obstacles, wireblocks, regblocks cliutil.RectList
+	)
+	flag.Var(&obstacles, "obstacle", "physical obstacle rect x0,y0,x1,y1 (repeatable)")
+	flag.Var(&wireblocks, "wireblock", "wiring blockage rect (repeatable)")
+	flag.Var(&regblocks, "regblock", "register blockage rect (repeatable)")
+	flag.Parse()
+
+	w, h, err := cliutil.ParseGridSize(*gridSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := cliutil.ParsePoint(*srcFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := cliutil.ParsePoint(*dstFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := grid.New(w, h, *pitch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range obstacles {
+		g.AddObstacle(r)
+	}
+	for _, r := range wireblocks {
+		g.AddWiringBlockage(r)
+	}
+	for _, r := range regblocks {
+		g.AddRegisterBlockage(r)
+	}
+
+	tc := tech.CongPan70nm()
+	m, err := elmore.NewModel(tc, *pitch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob, err := core.NewProblem(g, m, g.ID(src), g.ID(dst))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.Options{}
+	var rec *wavefront.Recorder
+	if *render {
+		rec = wavefront.NewRecorder(g)
+		opts.Trace = rec
+	}
+
+	run := core.RBP
+	switch *variant {
+	case "two-queue":
+	case "array":
+		run = core.RBPArrayQueues
+	default:
+		log.Fatalf("unknown -variant %q", *variant)
+	}
+
+	res, err := run(prob, *period, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := route.VerifySingleClock(res.Path, g, m, *period); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+
+	fmt.Printf("period       %.0f ps\n", *period)
+	fmt.Printf("latency      %.0f ps (%d cycles)\n", res.Latency, res.Registers+1)
+	fmt.Printf("registers    %d\n", res.Registers)
+	fmt.Printf("buffers      %d\n", res.Buffers)
+	fmt.Printf("path length  %d edges (%.2f mm)\n", res.Path.Len(), float64(res.Path.Len())**pitch)
+	if sep, ok := res.Path.RegisterSeparation(); ok {
+		fmt.Printf("register sep %d..%d edges\n", sep.Min, sep.Max)
+	}
+	fmt.Printf("configs      %d, max queue %d, %v\n", res.Stats.Configs, res.Stats.MaxQSize, res.Stats.Elapsed)
+	fmt.Printf("labeling     %v\n", res.Path)
+
+	if rec != nil {
+		fmt.Println()
+		if err := rec.Render(os.Stdout, res.Path); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command route routes every net of a JSON instance file (see package
+// internal/netlist for the format) and prints the latency annotation
+// report.
+//
+// Usage:
+//
+//	route -config design.json            # independent nets
+//	route -config design.json -exclusive # sequential congestion-aware
+//	route -emit-demo > design.json       # write a starter instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clockroute/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("route: ")
+
+	var (
+		config    = flag.String("config", "", "path to the JSON instance file")
+		exclusive = flag.Bool("exclusive", false, "reserve each routed net's resources (sequential congestion model)")
+		emitDemo  = flag.Bool("emit-demo", false, "print a starter instance to stdout and exit")
+	)
+	flag.Parse()
+
+	if *emitDemo {
+		demo := &netlist.Instance{
+			Name: "demo",
+			Grid: netlist.GridSpec{W: 101, H: 101, PitchMM: 0.25},
+			Tech: "congpan-0.07um",
+			Obstacles: [][4]int{
+				{30, 30, 60, 60},
+			},
+			WiringBlockages: [][4]int{{70, 0, 72, 40}},
+			Nets: []netlist.Net{
+				{Name: "same-domain", Src: [2]int{5, 5}, Dst: [2]int{95, 95}, SrcPeriodPS: 400, DstPeriodPS: 400},
+				{Name: "cross-domain", Src: [2]int{5, 95}, Dst: [2]int{95, 5}, SrcPeriodPS: 500, DstPeriodPS: 300},
+			},
+		}
+		if err := demo.Save(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *config == "" {
+		log.Fatal("need -config (or -emit-demo); known techs: ", netlist.TechNames())
+	}
+	inst, err := netlist.LoadFile(*config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := inst.Route(*exclusive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inst.Name != "" {
+		fmt.Printf("instance %s: %d nets on a %dx%d grid (%g mm pitch)\n\n",
+			inst.Name, len(inst.Nets), inst.Grid.W, inst.Grid.H, inst.Grid.PitchMM)
+	}
+	if err := plan.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal routed wire %.1f mm; %d failed\n", plan.TotalWireMM(), len(plan.Failed()))
+	if len(plan.Failed()) > 0 {
+		os.Exit(1)
+	}
+}

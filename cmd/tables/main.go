@@ -1,0 +1,155 @@
+// Command tables regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	tables -table all              # Tables I, II, III at paper scale
+//	tables -table 1 -scale reduced # quick 4×-coarser run
+//
+// Paper scale matches Section V: a 25×25 mm die, source and sink 40 mm
+// apart, grids of 50×50 / 100×100 / 200×200 cells, and the register-count
+// targets of Table I. Expect a few minutes for -table all at paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"clockroute/internal/bench"
+	"clockroute/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+
+	var (
+		table     = flag.String("table", "all", "which to regenerate: 1 | 2 | 3 | all | sweep")
+		scale     = flag.String("scale", "paper", "experiment scale: paper | reduced")
+		format    = flag.String("format", "text", "output format: text | csv")
+		sweepLo   = flag.Float64("sweep-lo", 100, "sweep: lowest period in ps")
+		sweepHi   = flag.Float64("sweep-hi", 1500, "sweep: highest period in ps")
+		sweepStep = flag.Float64("sweep-step", 50, "sweep: period step in ps")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		log.Fatalf("unknown -format %q", *format)
+	}
+	csvOut := *format == "csv"
+
+	var s bench.Scale
+	var targets []int
+	switch *scale {
+	case "paper":
+		s = bench.PaperScale()
+		targets = bench.RegisterTargets
+	case "reduced":
+		s = bench.ReducedScale()
+		targets = []int{1, 2, 3, 5, 7, 9, 39, 79}
+	default:
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	tc := tech.CongPan70nm()
+
+	runI := func() {
+		start := time.Now()
+		rep, err := bench.TableI(tc, s, targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csvOut {
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("== Table I: RBP statistics as a function of the clock period ==\n")
+		w, h := s.GridDims()
+		fmt.Printf("grid %dx%d, pitch %g mm, source/sink %d edges apart\n\n", w, h, s.PitchMM, s.EdgesApart())
+		if err := rep.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	runII := func() {
+		start := time.Now()
+		pitches := []float64{0.5, 0.25, 0.125}
+		if *scale == "reduced" {
+			pitches = []float64{1.0, 0.5}
+		}
+		rep, err := bench.TableII(tc, s, pitches, targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csvOut {
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("== Table II: RBP as a function of clock period and grid size ==\n\n")
+		if err := rep.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	runIII := func() {
+		start := time.Now()
+		rep, err := bench.TableIII(tc, s, bench.TableIIIPairs())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csvOut {
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("== Table III: GALS for different clock-domain periods ==\n\n")
+		if err := rep.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	runSweep := func() {
+		start := time.Now()
+		sw, err := bench.SweepPeriods(tc, s, *sweepLo, *sweepHi, *sweepStep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csvOut {
+			if err := sw.WriteCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("== Latency vs clock period sweep [%g, %g] step %g ==\n\n", *sweepLo, *sweepHi, *sweepStep)
+		if err := sw.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if lat, period, ok := sw.MinLatency(); ok {
+			fmt.Printf("\nbest latency %.0f ps at T = %.0f ps\n", lat, period)
+		}
+		fmt.Printf("(regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	switch *table {
+	case "1":
+		runI()
+	case "2":
+		runII()
+	case "3":
+		runIII()
+	case "sweep":
+		runSweep()
+	case "all":
+		runI()
+		runII()
+		runIII()
+	default:
+		log.Fatalf("unknown -table %q", *table)
+	}
+}

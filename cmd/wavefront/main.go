@@ -1,0 +1,101 @@
+// Command wavefront renders the RBP wave-front expansion (the paper's
+// Fig. 6): which wave — i.e. register count — first reached each grid node,
+// with the final route overlaid.
+//
+// Usage:
+//
+//	wavefront -grid 61x25 -pitch 0.5 -src 2,12 -dst 58,12 -period 300 \
+//	          -obstacle 18,4,30,18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clockroute/internal/cliutil"
+	"clockroute/internal/core"
+	"clockroute/internal/elmore"
+	"clockroute/internal/grid"
+	"clockroute/internal/tech"
+	"clockroute/internal/wavefront"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wavefront: ")
+
+	var (
+		gridSize              = flag.String("grid", "61x25", "grid size WxH in nodes")
+		pitch                 = flag.Float64("pitch", 0.5, "grid pitch in mm")
+		srcFlag               = flag.String("src", "2,12", "source node x,y")
+		dstFlag               = flag.String("dst", "58,12", "sink node x,y")
+		period                = flag.Float64("period", 300, "clock period in ps")
+		pngPath               = flag.String("png", "", "also write the expansion as a PNG to this file")
+		cell                  = flag.Int("cell", 6, "pixels per grid node for -png")
+		obstacles, wireblocks cliutil.RectList
+	)
+	flag.Var(&obstacles, "obstacle", "physical obstacle rect x0,y0,x1,y1 (repeatable)")
+	flag.Var(&wireblocks, "wireblock", "wiring blockage rect (repeatable)")
+	flag.Parse()
+
+	w, h, err := cliutil.ParseGridSize(*gridSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := cliutil.ParsePoint(*srcFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := cliutil.ParsePoint(*dstFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := grid.New(w, h, *pitch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range obstacles {
+		g.AddObstacle(r)
+	}
+	for _, r := range wireblocks {
+		g.AddWiringBlockage(r)
+	}
+
+	m, err := elmore.NewModel(tech.CongPan70nm(), *pitch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob, err := core.NewProblem(g, m, g.ID(src), g.ID(dst))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec := wavefront.NewRecorder(g)
+	res, err := core.RBP(prob, *period, core.Options{Trace: rec})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("latency %.0f ps, %d registers, %d buffers\n\n", res.Latency, res.Registers, res.Buffers)
+	if err := rec.Render(os.Stdout, res.Path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := rec.Summary(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *pngPath != "" {
+		f, err := os.Create(*pngPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := rec.RenderPNG(f, res.Path, *cell); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *pngPath)
+	}
+}

@@ -1,0 +1,72 @@
+package clockroute_test
+
+import (
+	"fmt"
+
+	"clockroute"
+)
+
+// ExampleRBP routes a 10 mm net under a 400 ps clock.
+func ExampleRBP() {
+	g := clockroute.NewGrid(21, 3, 0.5)
+	tech := clockroute.DefaultTech()
+	prob, err := clockroute.NewProblem(g, tech, clockroute.Pt(0, 1), clockroute.Pt(20, 1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := clockroute.RBP(prob, 400, clockroute.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("latency %.0f ps with %d registers\n", res.Latency, res.Registers)
+	// Output:
+	// latency 800 ps with 1 registers
+}
+
+// ExampleGALS routes between a 300 ps domain and a 250 ps domain.
+func ExampleGALS() {
+	g := clockroute.NewGrid(21, 3, 0.5)
+	tech := clockroute.DefaultTech()
+	prob, err := clockroute.NewProblem(g, tech, clockroute.Pt(0, 1), clockroute.Pt(20, 1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := clockroute.GALS(prob, 300, 250, clockroute.Options{})
+	if err != nil {
+		panic(err)
+	}
+	regS, regT := res.Path.RegistersBySide()
+	fmt.Printf("latency %.0f ps; %d+1 sync elements (%d source side, %d sink side)\n",
+		res.Latency, regS+regT, regS, regT)
+	// Output:
+	// latency 800 ps; 1+1 sync elements (0 source side, 1 sink side)
+}
+
+// ExampleLatchRoute shows the transparent-latch extension on the same net.
+func ExampleLatchRoute() {
+	g := clockroute.NewGrid(21, 3, 0.5)
+	tech := clockroute.DefaultTech()
+	prob, err := clockroute.NewProblem(g, tech, clockroute.Pt(0, 1), clockroute.Pt(20, 1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := clockroute.LatchRoute(prob, 400, 0, clockroute.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("latency %.0f ps with %d latches\n", res.LatencyPS, res.Latches)
+	// Output:
+	// latency 800 ps with 1 latches
+}
+
+// ExampleVerifySingleClock demonstrates independent verification.
+func ExampleVerifySingleClock() {
+	g := clockroute.NewGrid(21, 3, 0.5)
+	tech := clockroute.DefaultTech()
+	prob, _ := clockroute.NewProblem(g, tech, clockroute.Pt(0, 1), clockroute.Pt(20, 1))
+	res, _ := clockroute.RBP(prob, 400, clockroute.Options{})
+	latency, err := clockroute.VerifySingleClock(res.Path, g, tech, 400)
+	fmt.Printf("verified %.0f ps, err=%v\n", latency, err)
+	// Output:
+	// verified 800 ps, err=<nil>
+}

@@ -1,0 +1,75 @@
+// Interconnect planning: the Section-I use case. Given an early floorplan
+// of a 25 mm SoC, estimate the cycle latency of every block-to-block net so
+// the architects can absorb multicycle communication into the
+// microarchitecture — and see how the picture changes with the chip clock.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"clockroute"
+)
+
+func main() {
+	fp, err := clockroute.SoC25mm(0.25) // 0.25 mm planning grid
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := clockroute.DefaultTech()
+
+	w, h := fp.DieMM()
+	fmt.Printf("floorplan: %.0fx%.0f mm, %d blocks\n", w, h, len(fp.Blocks))
+	for _, b := range fp.Blocks {
+		clk := "chip clock"
+		if b.PeriodPS > 0 {
+			clk = fmt.Sprintf("%.0f ps local clock", b.PeriodPS)
+		}
+		fmt.Printf("  %-9s %-13s %v  (%s)\n", b.Name, b.Kind, b.Rect, clk)
+	}
+
+	// The netlist the architecture needs: memory traffic, accelerator
+	// offload, and a cross-domain CPU→DSP stream.
+	type netDef struct {
+		name  string
+		fromB string
+		fromS clockroute.BlockSide
+		toB   string
+		toS   clockroute.BlockSide
+	}
+	nets := []netDef{
+		{"cpu→sram0", "cpu", clockroute.SideSouth, "sram0", clockroute.SideNorth},
+		{"cpu→sram1", "cpu", clockroute.SideEast, "sram1", clockroute.SideWest},
+		{"cpu→dsp", "cpu", clockroute.SideEast, "dsp", clockroute.SideWest},
+		{"dsp→sram1", "dsp", clockroute.SideNorth, "sram1", clockroute.SideSouth},
+		{"sram0→sram1", "sram0", clockroute.SideEast, "sram1", clockroute.SideWest},
+	}
+
+	// Architectural exploration: how does the plan look at two candidate
+	// chip clocks?
+	for _, chipClock := range []float64{600, 350} {
+		fmt.Printf("\n=== chip clock %.0f ps ===\n", chipClock)
+		pl, err := clockroute.NewPlanner(fp, tech, clockroute.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var specs []clockroute.NetSpec
+		for _, nd := range nets {
+			s, err := clockroute.NetBetween(fp, nd.name, nd.fromB, nd.fromS, nd.toB, nd.toS, chipClock)
+			if err != nil {
+				log.Fatal(err)
+			}
+			specs = append(specs, s)
+		}
+		plan, err := pl.PlanNets(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plan.WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("total routed wire: %.1f mm; failed nets: %d\n",
+			plan.TotalWireMM(), len(plan.Failed()))
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: route one net across a die with an IP macro in the way,
+// under a 400 ps clock, and print what the router decided.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clockroute"
+)
+
+func main() {
+	// A 20×5 mm routing region at 0.5 mm pitch.
+	g := clockroute.NewGrid(41, 11, 0.5)
+
+	// A hard IP macro covers the middle of the straight path: wires may
+	// cross it on upper metal, but no buffer or register fits there.
+	g.AddObstacle(clockroute.R(12, 2, 28, 9))
+
+	tech := clockroute.DefaultTech() // calibrated 0.07 µm parameters
+
+	prob, err := clockroute.NewProblem(g, tech, clockroute.Pt(0, 5), clockroute.Pt(40, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First ask for the unclocked optimum (how fast could the wire be?).
+	fp, err := clockroute.FastPath(prob, clockroute.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fast path: %.0f ps with %d buffers over %d grid edges\n",
+		fp.Latency, fp.Buffers, fp.Path.Len())
+
+	// Then route it for a 400 ps clock: the signal needs multiple cycles,
+	// so RBP inserts registers — never on the macro.
+	const T = 400
+	res, err := clockroute.RBP(prob, T, clockroute.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RBP @ %d ps: latency %.0f ps = %d cycles, %d registers, %d buffers\n",
+		T, res.Latency, res.Registers+1, res.Registers, res.Buffers)
+	fmt.Printf("labeling: %v\n", res.Path)
+
+	// Always re-verify with the independent checker before trusting a plan.
+	lat, err := clockroute.VerifySingleClock(res.Path, g, tech, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("independently verified: latency %.0f ps\n", lat)
+
+	for i, n := range res.Path.Nodes {
+		if res.Path.Gates[i].IsClocked() && i > 0 && i < len(res.Path.Nodes)-1 {
+			fmt.Printf("  register at %v\n", g.At(n))
+		}
+	}
+}

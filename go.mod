@@ -1,0 +1,3 @@
+module clockroute
+
+go 1.22

@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"clockroute/internal/tech"
+)
+
+// reducedTargets keeps the test-scale sweep quick while spanning the same
+// dynamic range as the paper (1 register up to registers-every-edge). Every
+// entry is realizable on the 80-edge reduced instance: achievable register
+// counts are exactly ceil(80/N)-1 over integer reaches N, which skips e.g.
+// 10 (Table I's 10-register row exists only at the paper's 320-edge scale).
+var reducedTargets = []int{1, 2, 3, 5, 7, 9, 39, 79}
+
+func TestScaleGeometry(t *testing.T) {
+	s := PaperScale()
+	w, h := s.GridDims()
+	if w != 201 || h != 201 {
+		t.Errorf("paper grid = %dx%d, want 201x201", w, h)
+	}
+	if s.EdgesApart() != 320 {
+		t.Errorf("paper separation = %d edges, want 320 (40 mm)", s.EdgesApart())
+	}
+	r := ReducedScale()
+	if r.EdgesApart() != 80 {
+		t.Errorf("reduced separation = %d edges, want 80", r.EdgesApart())
+	}
+	if got := s.WithPitch(0.25).EdgesApart(); got != 160 {
+		t.Errorf("0.25mm separation = %d, want 160", got)
+	}
+}
+
+func TestFastestPeriodsSkipInexpressibleTargets(t *testing.T) {
+	tc := tech.CongPan70nm()
+	s := ReducedScale() // 80 edges: at most 79 internal registers
+	periods, kept, err := FastestPeriods(tc, s, []int{1, 79, 159, 319})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 || kept[0] != 1 || kept[1] != 79 {
+		t.Fatalf("kept = %v, want [1 79]", kept)
+	}
+	if periods[0] <= periods[1] {
+		t.Errorf("period for 1 register (%g) must exceed period for 79 (%g)", periods[0], periods[1])
+	}
+}
+
+func TestTableIReducedScaleObservations(t *testing.T) {
+	tc := tech.CongPan70nm()
+	s := ReducedScale()
+	rep, err := TableI(tc, s, reducedTargets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(reducedTargets)+1 {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(reducedTargets)+1)
+	}
+	fp := rep.Rows[0]
+	if !math.IsInf(fp.PeriodPS, 1) || fp.Registers != 0 {
+		t.Fatalf("first row must be Fast Path, got %+v", fp)
+	}
+
+	// The open-grid optimum equals the line oracle, so each row realizes
+	// exactly its register target.
+	for i, want := range reducedTargets {
+		if got := rep.Rows[i+1].Registers; got != want {
+			t.Errorf("row %d: registers = %d, want %d", i+1, got, want)
+		}
+	}
+
+	// Observation 1: as the period decreases, registers increase and the
+	// register separations decrease.
+	for i := 2; i < len(rep.Rows); i++ {
+		prev, cur := rep.Rows[i-1], rep.Rows[i]
+		if cur.PeriodPS >= prev.PeriodPS {
+			t.Errorf("row %d: periods not decreasing", i)
+		}
+		if cur.Registers <= prev.Registers {
+			t.Errorf("row %d: registers not increasing", i)
+		}
+		if prev.MaxRegSep >= 0 && cur.MaxRegSep > prev.MaxRegSep {
+			t.Errorf("row %d: MaxRegSep grew (%d > %d)", i, cur.MaxRegSep, prev.MaxRegSep)
+		}
+	}
+	// Buffers drop to zero at the smallest periods.
+	if last := rep.Rows[len(rep.Rows)-1]; last.Buffers != 0 {
+		t.Errorf("registers-every-edge row still has %d buffers", last.Buffers)
+	}
+
+	// Observation 2: configurations investigated decrease with the period.
+	first := rep.Rows[1].Configs
+	last := rep.Rows[len(rep.Rows)-1].Configs
+	if last >= first {
+		t.Errorf("configs did not shrink: %d -> %d", first, last)
+	}
+	for i := 2; i < len(rep.Rows); i++ {
+		// Allow 20% noise on the monotone trend.
+		if float64(rep.Rows[i].Configs) > 1.2*float64(rep.Rows[i-1].Configs) {
+			t.Errorf("row %d: configs grew sharply (%d after %d)",
+				i, rep.Rows[i].Configs, rep.Rows[i-1].Configs)
+		}
+	}
+
+	// Observation 4: at generous periods the latency stays within one
+	// period of the Fast Path optimum.
+	for _, row := range rep.Rows[1:] {
+		if row.Registers <= 10 {
+			if row.LatencyPS > fp.LatencyPS+row.PeriodPS {
+				t.Errorf("T=%g: latency %g more than one period above fast path %g",
+					row.PeriodPS, row.LatencyPS, fp.LatencyPS)
+			}
+		}
+	}
+
+	// Calibration: the Fast Path latency must be within 2% of the paper's
+	// 2741 ps at this pitch.
+	if fp.LatencyPS < 2741*0.98 || fp.LatencyPS > 2741*1.02 {
+		t.Errorf("fast path latency %g strays from paper's 2741", fp.LatencyPS)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T(ps)", "Configs", "paper:Lat", "inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestTableIIReducedScaleObservations(t *testing.T) {
+	tc := tech.CongPan70nm()
+	base := PaperScale()
+	pitches := []float64{1.0, 0.5} // coarse and fine, aligned grids
+	rep, err := TableII(tc, base, pitches, []int{1, 3, 7, 20, 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(rep.Blocks))
+	}
+	coarse, fine := rep.Blocks[0], rep.Blocks[1]
+	if len(coarse.Cells) != len(fine.Cells) {
+		t.Fatal("blocks must share the period list")
+	}
+
+	// Observation 1: fast path latency improves (weakly) with a finer grid.
+	if fine.Cells[0].LatencyPS > coarse.Cells[0].LatencyPS+1e-6 {
+		t.Errorf("finer grid fast path worse: %g vs %g",
+			fine.Cells[0].LatencyPS, coarse.Cells[0].LatencyPS)
+	}
+
+	// Observation 2: wherever both pitches are feasible, the finer grid is
+	// at least as good (its node set is a superset on aligned pitches).
+	for i := range fine.Cells {
+		c, f := coarse.Cells[i], fine.Cells[i]
+		if c.Feasible && f.Feasible && f.LatencyPS > c.LatencyPS+1e-6 {
+			t.Errorf("period %s: finer grid worse (%g vs %g)",
+				fmtPeriod(f.PeriodPS), f.LatencyPS, c.LatencyPS)
+		}
+		// Feasibility is monotone in pitch refinement.
+		if c.Feasible && !f.Feasible {
+			t.Errorf("period %s: coarse feasible but fine not", fmtPeriod(f.PeriodPS))
+		}
+	}
+
+	// Observation 3: at the smallest periods the coarse grid runs out of
+	// register sites while the fine grid still routes.
+	foundGap := false
+	for i := range fine.Cells {
+		if fine.Cells[i].Feasible && !coarse.Cells[i].Feasible {
+			foundGap = true
+		}
+	}
+	if !foundGap {
+		t.Error("expected at least one period feasible only on the finer grid")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Grid separation 1mm") || !strings.Contains(out, "Grid separation 0.5mm") {
+		t.Errorf("report missing block headers:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("report should mark infeasible cells")
+	}
+}
+
+func TestTableIIIReducedScale(t *testing.T) {
+	tc := tech.CongPan70nm()
+	s := ReducedScale()
+	rep, err := TableIII(tc, s, TableIIIPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 7 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+
+	// Mirrored period pairs must mirror register splits and match latency.
+	byPair := map[[2]float64]TableIIIRow{}
+	for _, r := range rep.Rows {
+		byPair[[2]float64{r.Ts, r.Tt}] = r
+	}
+	for _, mirror := range [][2][2]float64{
+		{{200, 300}, {300, 200}},
+		{{300, 400}, {400, 300}},
+		{{250, 300}, {300, 250}},
+	} {
+		a, b := byPair[mirror[0]], byPair[mirror[1]]
+		if a.LatencyPS != b.LatencyPS {
+			t.Errorf("mirror %v: latency %g vs %g", mirror, a.LatencyPS, b.LatencyPS)
+		}
+		if a.RegS != b.RegT || a.RegT != b.RegS {
+			t.Errorf("mirror %v: splits (%d,%d) vs (%d,%d)", mirror, a.RegS, a.RegT, b.RegS, b.RegT)
+		}
+	}
+
+	// Section V-C's takeaway: latency not significantly above the minimum
+	// source-sink delay (paper: 2800-3000 vs 2739; allow 40%).
+	fpRep, err := TableI(tc, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpDelay := fpRep.Rows[0].LatencyPS
+	for _, r := range rep.Rows {
+		if r.LatencyPS > fpDelay*1.4 {
+			t.Errorf("Ts=%g Tt=%g: latency %g strays from fast path %g", r.Ts, r.Tt, r.LatencyPS, fpDelay)
+		}
+		if want := r.Ts*float64(r.RegS+1) + r.Tt*float64(r.RegT+1); math.Abs(r.LatencyPS-want) > 1e-6 {
+			t.Errorf("Ts=%g Tt=%g: latency %g != formula %g", r.Ts, r.Tt, r.LatencyPS, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Reg-t", "Reg-s", "paper (Table III)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestPaperTablesEmbedded(t *testing.T) {
+	if len(PaperTableI()) != 14 {
+		t.Error("Table I should have 14 rows")
+	}
+	if got := paperTableIByRegs(0, true); got == nil || !math.IsInf(got.PeriodPS, 1) {
+		t.Error("fast path lookup failed")
+	}
+	if got := paperTableIByRegs(39, false); got == nil || got.PeriodPS != 84 {
+		t.Error("39-register lookup failed")
+	}
+	if got := paperTableIByRegs(1234, false); got != nil {
+		t.Error("unknown register count should return nil")
+	}
+	ii := PaperTableII()
+	if len(ii) != 3 || len(ii[0.125]) != 14 {
+		t.Error("Table II shape wrong")
+	}
+	if len(PaperTableIII()) != 7 || len(TableIIIPairs()) != 7 {
+		t.Error("Table III shape wrong")
+	}
+}
+
+func TestTableCSVExports(t *testing.T) {
+	tc := tech.CongPan70nm()
+	s := ReducedScale()
+
+	repI, err := TableI(tc, s, []int{1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repI.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("Table I CSV unparsable: %v", err)
+	}
+	if len(recs) != 4 || recs[0][0] != "period_ps" || recs[1][0] != "inf" {
+		t.Errorf("Table I CSV shape: %v", recs)
+	}
+
+	repII, err := TableII(tc, PaperScale(), []float64{1.0, 0.5}, []int{1, 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := repII.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("Table II CSV unparsable: %v", err)
+	}
+	if len(recs) != 1+2*3 { // header + 2 pitches x (inf + 2 periods)
+		t.Errorf("Table II CSV rows = %d", len(recs))
+	}
+
+	repIII, err := TableIII(tc, s, [][2]float64{{300, 300}, {200, 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := repIII.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("Table III CSV unparsable: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("Table III CSV rows = %d", len(recs))
+	}
+}
+
+func TestSweepPeriods(t *testing.T) {
+	tc := tech.CongPan70nm()
+	s := ReducedScale()
+	sw, err := SweepPeriods(tc, s, 100, 800, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 8 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	prevCycles := 1 << 30
+	for _, p := range sw.Points {
+		if !p.Feasible {
+			continue
+		}
+		// Cycle count is non-increasing as the period grows.
+		if p.Cycles > prevCycles {
+			t.Errorf("T=%g: cycles %d grew from %d", p.PeriodPS, p.Cycles, prevCycles)
+		}
+		prevCycles = p.Cycles
+		if p.LatencyPS != p.PeriodPS*float64(p.Cycles) {
+			t.Errorf("T=%g: latency %g != T*cycles", p.PeriodPS, p.LatencyPS)
+		}
+	}
+	lat, period, ok := sw.MinLatency()
+	if !ok || lat <= 0 || period < 100 || period > 800 {
+		t.Errorf("MinLatency = %g @ %g, ok=%v", lat, period, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := sw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := csv.NewReader(&buf).ReadAll(); err != nil || len(recs) != 9 {
+		t.Errorf("sweep CSV: %d rows, err=%v", len(recs), err)
+	}
+
+	if _, err := SweepPeriods(tc, s, 0, 100, 10); err == nil {
+		t.Error("lo=0 must fail")
+	}
+	if _, err := SweepPeriods(tc, s, 500, 100, 10); err == nil {
+		t.Error("hi<lo must fail")
+	}
+	if _, err := SweepPeriods(tc, s, 100, 500, 0); err == nil {
+		t.Error("step=0 must fail")
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// fmtCSVPeriod renders a period for CSV (empty-safe "inf" for Fast Path).
+func fmtCSVPeriod(T float64) string {
+	if math.IsInf(T, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(T, 'f', -1, 64)
+}
+
+// WriteCSV emits Table I as machine-readable CSV (one row per period).
+func (r *TableIReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"period_ps", "latency_ps", "registers", "buffers",
+		"max_reg_sep", "min_reg_sep", "max_elem_sep", "min_elem_sep",
+		"configs", "max_queue", "time_s",
+	}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			fmtCSVPeriod(row.PeriodPS),
+			strconv.FormatFloat(row.LatencyPS, 'f', 0, 64),
+			strconv.Itoa(row.Registers),
+			strconv.Itoa(row.Buffers),
+			strconv.Itoa(row.MaxRegSep),
+			strconv.Itoa(row.MinRegSep),
+			strconv.Itoa(row.MaxElemSep),
+			strconv.Itoa(row.MinElemSep),
+			strconv.Itoa(row.Configs),
+			strconv.Itoa(row.MaxQSize),
+			fmt.Sprintf("%.4f", row.Time.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Table II as CSV (one row per pitch × period cell).
+func (r *TableIIReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"pitch_mm", "period_ps", "feasible", "registers", "buffers",
+		"latency_ps", "max_sep", "min_sep", "time_s",
+	}); err != nil {
+		return err
+	}
+	for _, b := range r.Blocks {
+		for _, c := range b.Cells {
+			rec := []string{
+				strconv.FormatFloat(b.Scale.PitchMM, 'f', -1, 64),
+				fmtCSVPeriod(c.PeriodPS),
+				strconv.FormatBool(c.Feasible),
+			}
+			if c.Feasible {
+				rec = append(rec,
+					strconv.Itoa(c.Registers),
+					strconv.Itoa(c.Buffers),
+					strconv.FormatFloat(c.LatencyPS, 'f', 0, 64),
+					strconv.Itoa(c.MaxSep),
+					strconv.Itoa(c.MinSep),
+					fmt.Sprintf("%.4f", c.Time.Seconds()),
+				)
+			} else {
+				rec = append(rec, "", "", "", "", "", "")
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits Table III as CSV (one row per period pair).
+func (r *TableIIIReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"ts_ps", "tt_ps", "buffers", "reg_t", "reg_s", "latency_ps", "configs", "time_s",
+	}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.FormatFloat(row.Ts, 'f', 0, 64),
+			strconv.FormatFloat(row.Tt, 'f', 0, 64),
+			strconv.Itoa(row.Buffers),
+			strconv.Itoa(row.RegT),
+			strconv.Itoa(row.RegS),
+			strconv.FormatFloat(row.LatencyPS, 'f', 0, 64),
+			strconv.Itoa(row.Configs),
+			fmt.Sprintf("%.4f", row.Time.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,226 @@
+// Package candidate defines the partial-solution representation shared by
+// the FastPath, RBP, and GALS algorithms, and the per-node Pareto stores
+// that implement the (capacitance, delay) dominance pruning of the
+// fast-path framework.
+//
+// A candidate α = (c, d, m, v) is a partial buffered path from node v back
+// to the sink t: c is the input capacitance seen at v, d the Elmore delay
+// from v to t. The labeling m is represented implicitly by the Parent chain
+// — each candidate records only what changed (crossing an edge or inserting
+// a gate), making candidate creation O(1) and path reconstruction a single
+// backward walk.
+package candidate
+
+// Gate identifies the element a candidate inserted at its node.
+// Non-negative values index the technology's buffer library.
+type Gate int16
+
+const (
+	// GateNone marks a plain wire extension (no element at this node).
+	GateNone Gate = -1
+	// GateRegister marks an inserted register / relay station.
+	GateRegister Gate = -2
+	// GateFIFO marks the inserted mixed-clock FIFO.
+	GateFIFO Gate = -3
+	// GateLatch marks an inserted two-phase transparent latch (the
+	// latch-based routing extension).
+	GateLatch Gate = -4
+)
+
+// IsClocked reports whether g is a register, MCFIFO, or transparent latch.
+func (g Gate) IsClocked() bool {
+	return g == GateRegister || g == GateFIFO || g == GateLatch
+}
+
+// Candidate is one partial solution. Candidates form a DAG through Parent;
+// they are immutable after creation except for the Dead flag, which marks
+// lazily-deleted (pruned) queue entries.
+type Candidate struct {
+	C float64 // input capacitance seen at Node, pF
+	D float64 // Elmore delay from Node to the most recent sync element (or sink), ps
+	L float64 // GALS only: latency from the most recent sync element back to the sink, ps
+	// Slack is the timing slack of the sink-adjacent segment, fixed when
+	// the first register closes that segment (RBP's max-slack extension).
+	Slack float64
+
+	Node int32 // grid node ID
+	Gate Gate  // element inserted at Node when this candidate was created
+	Z    uint8 // GALS only: 1 once the MCFIFO is on the path
+	Regs int32 // clocked elements inserted so far (RBP wave index)
+
+	Dead   bool       // pruned while still queued
+	Final  bool       // a completed solution re-queued at the source (FastPath)
+	Parent *Candidate // the downstream candidate this one extends
+}
+
+// Walk calls fn for every candidate from c back to the initial sink
+// candidate, in upstream-to-downstream order (c first).
+func (c *Candidate) Walk(fn func(*Candidate)) {
+	for cur := c; cur != nil; cur = cur.Parent {
+		fn(cur)
+	}
+}
+
+// PathLen returns the number of grid edges on the candidate's partial path.
+func (c *Candidate) PathLen() int {
+	n := 0
+	for cur := c; cur.Parent != nil; cur = cur.Parent {
+		if cur.Node != cur.Parent.Node {
+			n++
+		}
+	}
+	return n
+}
+
+// Store keeps, for every grid node, the Pareto frontier of live candidates
+// seen in the current pruning epoch. An entry (c1,d1) is inferior to
+// (c2,d2) when c1 >= c2 and d1 >= d2; inferior candidates are pruned.
+//
+// RBP and GALS must only compare candidates with the same register count /
+// wavefront latency (Section III), so the store supports O(1) epoch resets:
+// NextEpoch invalidates all frontiers lazily via a per-node stamp.
+type Store struct {
+	lists [][]*Candidate
+	stamp []int32
+	cur   int32
+
+	// tri switches to three-dimensional dominance (c, d, and Slack):
+	// a candidate is inferior only if its slack is also no better. Used by
+	// the max-slack extension, where a worse-delay candidate may still be
+	// worth keeping for its higher sink slack.
+	tri bool
+
+	inserted int // live insertions since construction (diagnostics)
+	rejected int // dominated-on-arrival candidates
+	killed   int // previously-inserted candidates pruned by newcomers
+}
+
+// NewStore returns a store covering nodes [0, n).
+func NewStore(n int) *Store {
+	return &Store{
+		lists: make([][]*Candidate, n),
+		stamp: make([]int32, n),
+		cur:   1,
+	}
+}
+
+// NewTriStore returns a store covering nodes [0, n) that prunes on
+// (c, d, slack) — dominance requires c <= c', d <= d', AND slack >= slack'.
+func NewTriStore(n int) *Store {
+	s := NewStore(n)
+	s.tri = true
+	return s
+}
+
+// NextEpoch starts a new pruning epoch: every node's frontier becomes
+// logically empty. Existing candidates are untouched (they belong to queues
+// of earlier waves, which are already drained when RBP/GALS call this).
+func (s *Store) NextEpoch() { s.cur++ }
+
+// list returns the current-epoch frontier for node v, resetting it lazily.
+func (s *Store) list(v int32) []*Candidate {
+	if s.stamp[v] != s.cur {
+		s.stamp[v] = s.cur
+		s.lists[v] = s.lists[v][:0]
+	}
+	return s.lists[v]
+}
+
+// Insert attempts to add c to its node's frontier. It returns false (and
+// leaves the frontier unchanged) if c is dominated by an existing live
+// candidate; otherwise it inserts c, marks any now-dominated candidates
+// Dead, and returns true.
+func (s *Store) Insert(c *Candidate) bool {
+	if s.tri {
+		return s.insertTri(c)
+	}
+	l := s.list(c.Node)
+
+	// Upper bound: first index with C strictly greater than c.C. The
+	// frontier is sorted by C ascending with D strictly descending, so the
+	// predecessor (if any) has C <= c.C and the smallest D among those.
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l[mid].C <= c.C {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := lo
+	if pos > 0 && l[pos-1].D <= c.D {
+		s.rejected++
+		return false // dominated: smaller-or-equal cap, smaller-or-equal delay
+	}
+
+	// Kill equal-capacitance predecessors: they have C == c.C and (since we
+	// were not rejected) D > c.D, so c dominates them.
+	start := pos
+	for start > 0 && l[start-1].C == c.C {
+		l[start-1].Dead = true
+		s.killed++
+		start--
+	}
+
+	// Kill successors dominated by c: they have C >= c.C; dominated iff
+	// D >= c.D. D is descending, so they form a prefix of l[pos:].
+	end := pos
+	for end < len(l) && l[end].D >= c.D {
+		l[end].Dead = true
+		s.killed++
+		end++
+	}
+
+	// Replace l[start:end] with c.
+	n := len(l)
+	if end == start {
+		l = append(l, nil)
+		copy(l[start+1:], l[start:n])
+		l[start] = c
+	} else {
+		l[start] = c
+		copy(l[start+1:], l[end:n])
+		l = l[:n-(end-start)+1]
+	}
+	s.lists[c.Node] = l
+	s.inserted++
+	return true
+}
+
+// insertTri is the three-key variant of Insert: the list is kept unsorted
+// and scanned linearly (frontiers stay small in practice). Dominance:
+// existing (c,d,slack) kills newcomer (c',d',slack') iff c <= c', d <= d'
+// and slack >= slack'.
+func (s *Store) insertTri(c *Candidate) bool {
+	l := s.list(c.Node)
+	for _, o := range l {
+		if o.C <= c.C && o.D <= c.D && o.Slack >= c.Slack {
+			s.rejected++
+			return false
+		}
+	}
+	out := l[:0]
+	for _, o := range l {
+		if c.C <= o.C && c.D <= o.D && c.Slack >= o.Slack {
+			o.Dead = true
+			s.killed++
+			continue
+		}
+		out = append(out, o)
+	}
+	s.lists[c.Node] = append(out, c)
+	s.inserted++
+	return true
+}
+
+// Frontier returns a copy of the current-epoch Pareto frontier at node v,
+// for inspection by tests and diagnostics.
+func (s *Store) Frontier(v int32) []*Candidate {
+	return append([]*Candidate(nil), s.list(v)...)
+}
+
+// Stats returns (inserted, rejected, killed) counters.
+func (s *Store) Stats() (inserted, rejected, killed int) {
+	return s.inserted, s.rejected, s.killed
+}

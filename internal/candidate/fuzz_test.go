@@ -1,0 +1,40 @@
+package candidate
+
+import "testing"
+
+// FuzzStoreInsert drives the 2-D store with arbitrary byte-derived
+// coordinates and checks the frontier stays a strictly ordered Pareto set
+// with consistent Dead flags.
+func FuzzStoreInsert(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{9, 1, 8, 2, 7, 3, 6, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewStore(1)
+		var accepted []*Candidate
+		for i := 0; i+1 < len(data) && i < 120; i += 2 {
+			c := &Candidate{Node: 0, C: float64(data[i] % 16), D: float64(data[i+1] % 16), Gate: GateNone}
+			if s.Insert(c) {
+				accepted = append(accepted, c)
+			}
+		}
+		front := s.Frontier(0)
+		for i := 1; i < len(front); i++ {
+			if front[i].C <= front[i-1].C || front[i].D >= front[i-1].D {
+				t.Fatalf("frontier not strictly Pareto ordered at %d", i)
+			}
+		}
+		in := map[*Candidate]bool{}
+		for _, c := range front {
+			if c.Dead {
+				t.Fatal("dead candidate in frontier")
+			}
+			in[c] = true
+		}
+		for _, c := range accepted {
+			if !in[c] && !c.Dead {
+				t.Fatal("evicted candidate not marked dead")
+			}
+		}
+	})
+}

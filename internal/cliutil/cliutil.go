@@ -1,0 +1,84 @@
+// Package cliutil holds the small flag-parsing helpers shared by the cmd/
+// tools: grid points, rectangles, and repeatable rectangle lists.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"clockroute/internal/geom"
+)
+
+// ParsePoint parses "x,y" into a grid point.
+func ParsePoint(s string) (geom.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return geom.Point{}, fmt.Errorf("cliutil: point %q: want x,y", s)
+	}
+	x, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("cliutil: point %q: %v", s, err)
+	}
+	y, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return geom.Point{}, fmt.Errorf("cliutil: point %q: %v", s, err)
+	}
+	return geom.Pt(x, y), nil
+}
+
+// ParseRect parses "x0,y0,x1,y1" into a rectangle (corners in any order).
+func ParseRect(s string) (geom.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.Rect{}, fmt.Errorf("cliutil: rect %q: want x0,y0,x1,y1", s)
+	}
+	v := make([]int, 4)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return geom.Rect{}, fmt.Errorf("cliutil: rect %q: %v", s, err)
+		}
+		v[i] = n
+	}
+	return geom.R(v[0], v[1], v[2], v[3]), nil
+}
+
+// RectList is a repeatable flag collecting rectangles.
+type RectList []geom.Rect
+
+// String implements flag.Value.
+func (r *RectList) String() string {
+	var parts []string
+	for _, rc := range *r {
+		parts = append(parts, fmt.Sprintf("%d,%d,%d,%d", rc.MinX, rc.MinY, rc.MaxX, rc.MaxY))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Set implements flag.Value.
+func (r *RectList) Set(s string) error {
+	rc, err := ParseRect(s)
+	if err != nil {
+		return err
+	}
+	*r = append(*r, rc)
+	return nil
+}
+
+// ParseGridSize parses "WxH" into node counts.
+func ParseGridSize(s string) (w, h int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("cliutil: grid size %q: want WxH", s)
+	}
+	w, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("cliutil: grid size %q: %v", s, err)
+	}
+	h, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("cliutil: grid size %q: %v", s, err)
+	}
+	return w, h, nil
+}

@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"testing"
+
+	"clockroute/internal/geom"
+)
+
+func TestParsePoint(t *testing.T) {
+	p, err := ParsePoint("3, 7")
+	if err != nil || p != geom.Pt(3, 7) {
+		t.Errorf("ParsePoint = %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "3", "3,4,5", "a,b", "3,"} {
+		if _, err := ParsePoint(bad); err == nil {
+			t.Errorf("ParsePoint(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseRect(t *testing.T) {
+	r, err := ParseRect("5,6,1,2")
+	if err != nil || r != geom.R(1, 2, 5, 6) {
+		t.Errorf("ParseRect = %v, %v", r, err)
+	}
+	for _, bad := range []string{"", "1,2,3", "1,2,3,x"} {
+		if _, err := ParseRect(bad); err == nil {
+			t.Errorf("ParseRect(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRectList(t *testing.T) {
+	var rl RectList
+	if err := rl.Set("0,0,2,2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Set("3,3,5,5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(rl) != 2 {
+		t.Fatalf("len = %d", len(rl))
+	}
+	if rl.String() != "0,0,2,2;3,3,5,5" {
+		t.Errorf("String = %q", rl.String())
+	}
+	if err := rl.Set("bogus"); err == nil {
+		t.Error("bad rect should fail")
+	}
+}
+
+func TestParseGridSize(t *testing.T) {
+	w, h, err := ParseGridSize("201x101")
+	if err != nil || w != 201 || h != 101 {
+		t.Errorf("ParseGridSize = %d,%d,%v", w, h, err)
+	}
+	if _, _, err := ParseGridSize("201X101"); err != nil {
+		t.Error("upper-case X should parse")
+	}
+	for _, bad := range []string{"", "201", "axb", "2x3x4"} {
+		if _, _, err := ParseGridSize(bad); err == nil {
+			t.Errorf("ParseGridSize(%q) should fail", bad)
+		}
+	}
+}

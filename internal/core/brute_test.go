@@ -1,0 +1,268 @@
+package core
+
+// Brute-force reference solvers used only in tests: they enumerate every
+// simple path of the grid and, per path, run an exact dynamic program over
+// all labelings. They are exponential and live behind small fixed grids.
+
+import (
+	"math"
+
+	"clockroute/internal/elmore"
+	"clockroute/internal/grid"
+	"clockroute/internal/tech"
+)
+
+// enumeratePaths calls fn with every simple path from s to t (as node IDs).
+func enumeratePaths(g *grid.Grid, s, t int, fn func(path []int)) {
+	visited := make([]bool, g.NumNodes())
+	var cur []int
+	var dfs func(u int)
+	dfs = func(u int) {
+		visited[u] = true
+		cur = append(cur, u)
+		if u == t {
+			fn(append([]int(nil), cur...))
+		} else {
+			g.ForNeighbors(u, func(v int) {
+				if !visited[v] {
+					dfs(v)
+				}
+			})
+		}
+		cur = cur[:len(cur)-1]
+		visited[u] = false
+	}
+	dfs(s)
+}
+
+type bruteState struct {
+	regs int
+	c, d float64
+}
+
+// prunedAdd inserts st keeping only states not dominated on (regs, c, d).
+func prunedAdd(states []bruteState, st bruteState) []bruteState {
+	for _, o := range states {
+		if o.regs <= st.regs && o.c <= st.c && o.d <= st.d {
+			return states
+		}
+	}
+	out := states[:0]
+	for _, o := range states {
+		if !(st.regs <= o.regs && st.c <= o.c && st.d <= o.d) {
+			out = append(out, o)
+		}
+	}
+	return append(out, st)
+}
+
+// brutePathMinDelay returns the minimum source-to-sink Elmore delay over all
+// buffer labelings of the fixed path (registers disallowed), or +Inf if the
+// path is degenerate.
+func brutePathMinDelay(g *grid.Grid, m *elmore.Model, path []int) float64 {
+	tc := m.Tech()
+	reg := tc.Register
+	states := []bruteState{{c: reg.C, d: reg.Setup}}
+	// Walk backward from the sink (last element) to the source.
+	for i := len(path) - 2; i >= 0; i-- {
+		var next []bruteState
+		for _, st := range states {
+			c2, d2 := m.AddEdge(st.c, st.d)
+			next = prunedAdd(next, bruteState{c: c2, d: d2})
+		}
+		if i != 0 && g.Insertable(path[i]) {
+			for _, st := range next {
+				for _, b := range tc.Buffers {
+					c2, d2 := m.AddGate(b, st.c, st.d)
+					next = prunedAdd(next, bruteState{c: c2, d: d2})
+				}
+			}
+		}
+		states = next
+	}
+	best := math.Inf(1)
+	for _, st := range states {
+		if d := m.DriveInto(reg, st.c, st.d); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// bruteMinDelay returns the minimum buffered path delay over every simple
+// path — the FastPath optimum.
+func bruteMinDelay(g *grid.Grid, m *elmore.Model, s, t int) float64 {
+	best := math.Inf(1)
+	enumeratePaths(g, s, t, func(path []int) {
+		if d := brutePathMinDelay(g, m, path); d < best {
+			best = d
+		}
+	})
+	return best
+}
+
+// brutePathMinRegs returns the minimum register count over all labelings of
+// the fixed path meeting period T, or -1 if infeasible.
+func brutePathMinRegs(g *grid.Grid, m *elmore.Model, path []int, T float64) int {
+	tc := m.Tech()
+	reg := tc.Register
+	states := []bruteState{{c: reg.C, d: reg.Setup}}
+	for i := len(path) - 2; i >= 0; i-- {
+		var next []bruteState
+		for _, st := range states {
+			c2, d2 := m.AddEdge(st.c, st.d)
+			if d2 <= T { // cannot exceed the period mid-segment either
+				next = prunedAdd(next, bruteState{regs: st.regs, c: c2, d: d2})
+			}
+		}
+		if i != 0 && g.Insertable(path[i]) {
+			base := append([]bruteState(nil), next...)
+			for _, st := range base {
+				for _, b := range tc.Buffers {
+					c2, d2 := m.AddGate(b, st.c, st.d)
+					if d2 <= T {
+						next = prunedAdd(next, bruteState{regs: st.regs, c: c2, d: d2})
+					}
+				}
+				if g.RegisterInsertable(path[i]) && m.DriveInto(reg, st.c, st.d) <= T {
+					next = prunedAdd(next, bruteState{regs: st.regs + 1, c: reg.C, d: reg.Setup})
+				}
+			}
+		}
+		states = next
+		if len(states) == 0 {
+			return -1
+		}
+	}
+	best := -1
+	for _, st := range states {
+		if m.DriveInto(reg, st.c, st.d) <= T {
+			if best == -1 || st.regs < best {
+				best = st.regs
+			}
+		}
+	}
+	return best
+}
+
+// bruteMinRegs returns the minimum register count over every simple path,
+// or -1 if no feasible solution exists.
+func bruteMinRegs(g *grid.Grid, m *elmore.Model, s, t int, T float64) int {
+	best := -1
+	enumeratePaths(g, s, t, func(path []int) {
+		r := brutePathMinRegs(g, m, path, T)
+		if r >= 0 && (best == -1 || r < best) {
+			best = r
+		}
+	})
+	return best
+}
+
+// testTech returns a fast “toy” technology whose reaches are a few grid
+// edges on a coarse pitch, so small grids exercise multi-register behavior.
+func testTech() *tech.Tech {
+	return tech.CongPan70nm()
+}
+
+// multiTech returns the three-size-buffer calibrated technology.
+func multiTech() *tech.Tech {
+	return tech.CongPan70nmMultiSize()
+}
+
+// galsState extends the brute DP with the domain flag and per-side counts.
+type galsState struct {
+	z          int // 0 = sink side (pre-FIFO walking backward), 1 = source side
+	regS, regT int
+	c, d       float64
+}
+
+func galsAdd(states []galsState, s galsState) []galsState {
+	for _, o := range states {
+		if o.z == s.z && o.regS <= s.regS && o.regT <= s.regT && o.c <= s.c && o.d <= s.d {
+			return states
+		}
+	}
+	out := states[:0]
+	for _, o := range states {
+		if !(s.z == o.z && s.regS <= o.regS && s.regT <= o.regT && s.c <= o.c && s.d <= o.d) {
+			out = append(out, o)
+		}
+	}
+	return append(out, s)
+}
+
+// brutePathMinGALS returns the minimum GALS latency over all labelings of
+// the fixed path, or +Inf if infeasible.
+func brutePathMinGALS(g *grid.Grid, m *elmore.Model, path []int, Ts, Tt float64) float64 {
+	tc := m.Tech()
+	reg, fifo := tc.Register, tc.FIFO
+	T := func(z int) float64 {
+		if z == 1 {
+			return Ts
+		}
+		return Tt
+	}
+	states := []galsState{{c: reg.C, d: reg.Setup}}
+	for i := len(path) - 2; i >= 0; i-- {
+		var next []galsState
+		for _, st := range states {
+			c2, d2 := m.AddEdge(st.c, st.d)
+			if d2 <= T(st.z) {
+				next = galsAdd(next, galsState{z: st.z, regS: st.regS, regT: st.regT, c: c2, d: d2})
+			}
+		}
+		if i != 0 && g.Insertable(path[i]) {
+			base := append([]galsState(nil), next...)
+			for _, st := range base {
+				for _, b := range tc.Buffers {
+					c2, d2 := m.AddGate(b, st.c, st.d)
+					if d2 <= T(st.z) {
+						next = galsAdd(next, galsState{z: st.z, regS: st.regS, regT: st.regT, c: c2, d: d2})
+					}
+				}
+				if !g.RegisterInsertable(path[i]) {
+					continue
+				}
+				if m.DriveInto(reg, st.c, st.d) <= T(st.z) {
+					ns := st
+					if st.z == 1 {
+						ns.regS++
+					} else {
+						ns.regT++
+					}
+					ns.c, ns.d = reg.C, reg.Setup
+					next = galsAdd(next, ns)
+				}
+				if st.z == 0 && m.DriveInto(fifo, st.c, st.d) <= Tt {
+					next = galsAdd(next, galsState{z: 1, regS: st.regS, regT: st.regT, c: fifo.C, d: fifo.Setup})
+				}
+			}
+		}
+		states = next
+		if len(states) == 0 {
+			return math.Inf(1)
+		}
+	}
+	best := math.Inf(1)
+	for _, st := range states {
+		if st.z == 1 && m.DriveInto(reg, st.c, st.d) <= Ts {
+			lat := Ts*float64(st.regS+1) + Tt*float64(st.regT+1)
+			if lat < best {
+				best = lat
+			}
+		}
+	}
+	return best
+}
+
+// bruteMinGALS returns the minimum GALS latency over every simple path,
+// or +Inf if infeasible.
+func bruteMinGALS(g *grid.Grid, m *elmore.Model, s, t int, Ts, Tt float64) float64 {
+	best := math.Inf(1)
+	enumeratePaths(g, s, t, func(path []int) {
+		if l := brutePathMinGALS(g, m, path, Ts, Tt); l < best {
+			best = l
+		}
+	})
+	return best
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+)
+
+// The routers share the grid and model read-only, so concurrent searches on
+// one Problem must be safe and deterministic. Run with -race.
+func TestConcurrentSearchesShareProblem(t *testing.T) {
+	g := grid.MustNew(41, 11, 0.5)
+	g.AddObstacle(geom.R(10, 3, 25, 8))
+	p := problemOn(t, g, geom.Pt(0, 5), geom.Pt(40, 5))
+
+	type outcome struct {
+		latency float64
+		regs    int
+	}
+	const workers = 8
+	results := make([]outcome, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				res, err := RBP(p, 400, Options{})
+				if err != nil {
+					t.Errorf("worker %d: %v", i, err)
+					return
+				}
+				results[i] = outcome{res.Latency, res.Registers}
+			case 1:
+				res, err := GALS(p, 300, 250, Options{})
+				if err != nil {
+					t.Errorf("worker %d: %v", i, err)
+					return
+				}
+				results[i] = outcome{res.Latency, res.Registers}
+			default:
+				res, err := FastPath(p, Options{})
+				if err != nil {
+					t.Errorf("worker %d: %v", i, err)
+					return
+				}
+				results[i] = outcome{res.Latency, 0}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Same-algorithm workers must agree exactly.
+	for i := 3; i < workers; i++ {
+		if results[i] != results[i-3] {
+			t.Errorf("nondeterminism: worker %d %+v vs worker %d %+v", i, results[i], i-3, results[i-3])
+		}
+	}
+}

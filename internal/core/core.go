@@ -1,0 +1,145 @@
+// Package core implements the paper's algorithms: the fast-path baseline of
+// Zhou et al. (Fig. 1), the registered-buffered path algorithm RBP for
+// single-clock domains (Fig. 5, including the array-of-queues variant
+// discussed at the end of Section III), and the GALS algorithm for
+// multiple-clock domains (Fig. 12).
+//
+// All three are backward dynamic programs: partial solutions grow from the
+// sink t toward the source s, keyed by Elmore delay, with (capacitance,
+// delay) dominance pruning per node. RBP and GALS additionally propagate in
+// wavefronts — one wave per register count (RBP) or per accumulated latency
+// (GALS) — because candidates from different waves are incomparable
+// (Section III, Fig. 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"clockroute/internal/candidate"
+	"clockroute/internal/elmore"
+	"clockroute/internal/grid"
+	"clockroute/internal/route"
+	"clockroute/internal/tech"
+)
+
+// ErrNoPath is returned when no feasible solution exists, e.g. when the
+// clock period is too small for the grid pitch (Table II's empty cells) or
+// the sink is unreachable.
+var ErrNoPath = errors.New("core: no feasible routing solution")
+
+// Tracer observes the search for visualization and diagnostics.
+// Implementations must be cheap; the router calls Visit for every candidate
+// it pops.
+type Tracer interface {
+	// WaveStart is called when a new wavefront begins. For RBP, wave is the
+	// register count and latency is T×(wave+1); for GALS, latency is the
+	// wavefront's accumulated l. FastPath has a single wave 0.
+	WaveStart(wave int, latency float64)
+	// Visit is called for every live candidate popped from Q.
+	Visit(wave int, node int)
+}
+
+// Options tune a search run. The zero value runs the algorithms exactly as
+// published.
+type Options struct {
+	// DisablePruning turns off (c,d) dominance pruning. Exponential in the
+	// worst case — ablation use only, on small grids.
+	DisablePruning bool
+	// DisableLookahead turns off RBP's edge feasibility look-ahead
+	// (d' ≤ T − K(r) − min(R)·c'), replacing it with the plain d' ≤ T test.
+	DisableLookahead bool
+	// MaximizeSlack (RBP only) selects, among all minimum-latency
+	// solutions, one maximizing the sum of the source and sink segment
+	// slacks — the extension discussed at the end of Section III. Pruning
+	// becomes three-dimensional (capacitance, delay, slack) and the winning
+	// wave is drained completely, so runs cost more than plain RBP.
+	MaximizeSlack bool
+	// Trace, when non-nil, observes the expansion.
+	Trace Tracer
+	// MaxConfigs aborts the search with an error after this many popped
+	// candidates (0 = unlimited). A safety valve for ablations.
+	MaxConfigs int
+}
+
+// Stats records the effort of one search run, matching the instrumented
+// columns of Table I.
+type Stats struct {
+	Configs  int           // candidates popped off Q ("Configs" in Table I)
+	Pushed   int           // candidates pushed onto Q/Q*
+	Pruned   int           // candidates rejected as dominated on arrival
+	Killed   int           // queued candidates invalidated by later arrivals
+	Waves    int           // wavefronts processed
+	MaxQSize int           // peak combined queue size ("MaxQSize" in Table I)
+	Elapsed  time.Duration // wall time
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Path *route.Path
+	// Latency is the optimized objective: the minimum buffered path delay
+	// for FastPath, T×(p+1) for RBP, and Ts×(pS+1)+Tt×(pT+1) for GALS (ps).
+	Latency float64
+	// SourceDelay is the Elmore delay of the segment adjacent to the source
+	// (FastPath: the whole path delay), useful for slack reporting.
+	SourceDelay float64
+	// SlackPS is the sum of the source- and sink-segment slacks of the
+	// returned RBP path (maximal when Options.MaximizeSlack is set).
+	SlackPS    float64
+	Registers  int // internal registers (RBP; GALS: both sides combined)
+	RegS, RegT int // GALS: registers on the source / sink side of the FIFO
+	Buffers    int
+	Stats      Stats
+}
+
+// Problem bundles the inputs shared by all three algorithms.
+type Problem struct {
+	Grid   *grid.Grid
+	Model  *elmore.Model
+	Source int
+	Sink   int
+}
+
+// NewProblem validates and builds a Problem over g with source s and sink t.
+func NewProblem(g *grid.Grid, m *elmore.Model, s, t int) (*Problem, error) {
+	if g == nil || m == nil {
+		return nil, errors.New("core: nil grid or model")
+	}
+	if m.PitchMM() != g.PitchMM() {
+		return nil, fmt.Errorf("core: model pitch %g mm != grid pitch %g mm", m.PitchMM(), g.PitchMM())
+	}
+	n := g.NumNodes()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return nil, fmt.Errorf("core: endpoint out of range (s=%d t=%d n=%d)", s, t, n)
+	}
+	if s == t {
+		return nil, errors.New("core: source equals sink")
+	}
+	if !g.RegisterInsertable(s) || !g.RegisterInsertable(t) {
+		return nil, errors.New("core: source and sink must accept clocked elements")
+	}
+	return &Problem{Grid: g, Model: m, Source: s, Sink: t}, nil
+}
+
+func (p *Problem) tech() *tech.Tech { return p.Model.Tech() }
+
+// initialCandidate builds the sink candidate (C(r), Setup(r), m', t).
+func (p *Problem) initialCandidate() *candidate.Candidate {
+	r := p.tech().Register
+	return &candidate.Candidate{
+		C:    r.C,
+		D:    r.Setup,
+		Node: int32(p.Sink),
+		Gate: candidate.GateRegister,
+	}
+}
+
+// finish reconstructs the path and fills the counters common to all
+// algorithms.
+func (p *Problem) finish(final *candidate.Candidate, res *Result) {
+	res.Path = route.FromCandidate(final, candidate.GateRegister, candidate.GateRegister)
+	res.Buffers = res.Path.NumBuffers()
+	res.Registers = res.Path.NumRegisters()
+	res.RegS, res.RegT = res.Path.RegistersBySide()
+}

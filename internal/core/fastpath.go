@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"clockroute/internal/candidate"
+	"clockroute/internal/pqueue"
+)
+
+// FastPath finds the minimum Elmore-delay buffered path from the problem's
+// source to its sink, exploring all routing and buffer-insertion options
+// simultaneously (Zhou et al., Fig. 1 of the paper). The source and sink
+// are modeled as registers (g_s = g_t = r) so results are directly
+// comparable with RBP: the reported Latency is the full source-to-sink
+// delay including the driver delay and the sink setup.
+func FastPath(p *Problem, opts Options) (*Result, error) {
+	start := time.Now()
+	g, m := p.Grid, p.Model
+	tc := p.tech()
+	reg := tc.Register
+
+	var q pqueue.Heap[*candidate.Candidate]
+	store := candidate.NewStore(g.NumNodes())
+	res := &Result{}
+
+	push := func(c *candidate.Candidate, key float64) {
+		if !opts.DisablePruning && !c.Final {
+			if !store.Insert(c) {
+				res.Stats.Pruned++
+				return
+			}
+		}
+		q.Push(key, c)
+		res.Stats.Pushed++
+		if q.Len() > res.Stats.MaxQSize {
+			res.Stats.MaxQSize = q.Len()
+		}
+	}
+
+	init := p.initialCandidate()
+	push(init, init.D)
+	if opts.Trace != nil {
+		opts.Trace.WaveStart(0, math.Inf(1))
+	}
+	res.Stats.Waves = 1
+
+	for q.Len() > 0 {
+		_, cur, _ := q.Pop()
+		if cur.Dead {
+			continue
+		}
+		res.Stats.Configs++
+		if opts.MaxConfigs > 0 && res.Stats.Configs > opts.MaxConfigs {
+			return nil, ErrNoPath
+		}
+		if opts.Trace != nil {
+			opts.Trace.Visit(0, int(cur.Node))
+		}
+
+		u := int(cur.Node)
+		if u == p.Source {
+			if cur.Final {
+				// Minimum-delay solution: everything still queued has
+				// delay >= cur's completed delay.
+				res.Latency = cur.D
+				res.SourceDelay = cur.D
+				res.Stats.Elapsed = time.Since(start)
+				p.finish(cur.Parent, res)
+				return res, nil
+			}
+			d2 := m.DriveInto(reg, cur.C, cur.D)
+			fin := &candidate.Candidate{
+				C: 0, D: d2, Node: cur.Node,
+				Gate: candidate.GateNone, Final: true, Parent: cur,
+			}
+			push(fin, d2)
+		}
+		if cur.Final {
+			continue
+		}
+
+		// Step 6: extend across each live edge.
+		g.ForNeighbors(u, func(v int) {
+			c2, d2 := m.AddEdge(cur.C, cur.D)
+			push(&candidate.Candidate{
+				C: c2, D: d2, Node: int32(v),
+				Gate: candidate.GateNone, Parent: cur,
+			}, d2)
+		})
+
+		// Steps 7-8: insert each library buffer at u. The endpoints are
+		// excluded: m(s) and m(t) are fixed to the port gates.
+		if g.Insertable(u) && cur.Gate == candidate.GateNone &&
+			u != p.Source && u != p.Sink {
+			for bi := range tc.Buffers {
+				b := tc.Buffers[bi]
+				c2, d2 := m.AddGate(b, cur.C, cur.D)
+				push(&candidate.Candidate{
+					C: c2, D: d2, Node: cur.Node,
+					Gate: candidate.Gate(bi), Parent: cur,
+				}, d2)
+			}
+		}
+	}
+	return nil, ErrNoPath
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clockroute/internal/candidate"
+	"clockroute/internal/pqueue"
+)
+
+// latencyEps groups Q* entries whose accumulated latencies differ only by
+// floating-point noise into the same wavefront (latencies are sums of Ts
+// and Tt multiples, so genuine differences are at least fractions of a ps).
+const latencyEps = 1e-6
+
+// GALS finds a feasible MCFIFO path of minimum total latency
+// Ts×(pS+1) + Tt×(pT+1) between a source clocked at Ts and a sink clocked
+// at Tt (Fig. 12 of the paper).
+//
+// Exactly one mixed-clock FIFO must appear on the path; relay stations are
+// modeled as registers (Section IV-B). Candidates carry a domain flag z
+// (0 until the FIFO is inserted, walking backward from the sink; 1 after)
+// and the accumulated latency l from the most recent synchronizer back to
+// the sink. Q is ordered by combinational delay d; Q* by l, and wavefronts
+// of equal l are extracted together since candidates with different
+// latencies are incomparable.
+func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
+	if Ts <= 0 || Tt <= 0 {
+		return nil, fmt.Errorf("core: non-positive clock period (Ts=%g, Tt=%g)", Ts, Tt)
+	}
+	start := time.Now()
+	g, m := p.Grid, p.Model
+	tc := p.tech()
+	reg, fifo := tc.Register, tc.FIFO
+
+	// T(z): the clock period constraining the candidate's current segment.
+	T := func(z uint8) float64 {
+		if z == 1 {
+			return Ts
+		}
+		return Tt
+	}
+
+	var q pqueue.Heap[*candidate.Candidate]     // current wave, keyed by d
+	var qstar pqueue.Heap[*candidate.Candidate] // future waves, keyed by l
+
+	// Separate pruning stores per z: candidates with opposing z values are
+	// never compared (Section IV-B, point 2).
+	stores := [2]*candidate.Store{
+		candidate.NewStore(g.NumNodes()),
+		candidate.NewStore(g.NumNodes()),
+	}
+	regDone := [2][]bool{ // A_0(v), A_1(v)
+		make([]bool, g.NumNodes()),
+		make([]bool, g.NumNodes()),
+	}
+	fifoDone := make([]bool, g.NumNodes()) // F(v)
+
+	res := &Result{}
+	pushQ := func(c *candidate.Candidate) {
+		if !opts.DisablePruning {
+			if !stores[c.Z].Insert(c) {
+				res.Stats.Pruned++
+				return
+			}
+		}
+		q.Push(c.D, c)
+		res.Stats.Pushed++
+		if n := q.Len() + qstar.Len(); n > res.Stats.MaxQSize {
+			res.Stats.MaxQSize = n
+		}
+	}
+	pushQstar := func(c *candidate.Candidate) {
+		qstar.Push(c.L, c)
+		res.Stats.Pushed++
+		if n := q.Len() + qstar.Len(); n > res.Stats.MaxQSize {
+			res.Stats.MaxQSize = n
+		}
+	}
+
+	init := p.initialCandidate() // (C(r), Setup(r), m', t, z=0, l=0)
+	pushQ(init)
+	if opts.Trace != nil {
+		opts.Trace.WaveStart(0, 0)
+	}
+	res.Stats.Waves = 1
+
+	var waveBuf []*candidate.Candidate
+	for q.Len() > 0 || qstar.Len() > 0 {
+		if q.Len() == 0 {
+			// Step 2: Q = ExtractAllMin(Q*) — the next equal-latency
+			// wavefront; a fresh pruning epoch for both domains.
+			waveBuf = waveBuf[:0]
+			var l float64
+			waveBuf, l = qstar.ExtractAllMin(waveBuf, latencyEps)
+			stores[0].NextEpoch()
+			stores[1].NextEpoch()
+			res.Stats.Waves++
+			if opts.Trace != nil {
+				opts.Trace.WaveStart(res.Stats.Waves-1, l)
+			}
+			for _, c := range waveBuf {
+				pushQ(c)
+			}
+			continue
+		}
+
+		_, c, _ := q.Pop()
+		if c.Dead {
+			continue
+		}
+		res.Stats.Configs++
+		if opts.MaxConfigs > 0 && res.Stats.Configs > opts.MaxConfigs {
+			return nil, ErrNoPath
+		}
+		if opts.Trace != nil {
+			opts.Trace.Visit(res.Stats.Waves-1, int(c.Node))
+		}
+		u := int(c.Node)
+
+		// Step 4: a solution must contain the MCFIFO (z=1) and close the
+		// final source-side segment within Ts.
+		if u == p.Source && c.Z == 1 {
+			if d2 := m.DriveInto(reg, c.C, c.D); d2 <= Ts {
+				res.Latency = c.L + Ts
+				res.SourceDelay = d2
+				res.Stats.Elapsed = time.Since(start)
+				p.finish(c, res)
+				return res, nil
+			}
+		}
+
+		// Step 5: extend across each live edge under the current domain's
+		// period.
+		g.ForNeighbors(u, func(v int) {
+			c2, d2 := m.AddEdge(c.C, c.D)
+			if d2 > T(c.Z) {
+				return
+			}
+			pushQ(&candidate.Candidate{
+				C: c2, D: d2, L: c.L, Node: int32(v),
+				Gate: candidate.GateNone, Z: c.Z, Regs: c.Regs, Parent: c,
+			})
+		})
+
+		// The endpoints are excluded from insertion: m(s) and m(t) are
+		// fixed to the port registers.
+		if !g.Insertable(u) || c.Gate != candidate.GateNone ||
+			u == p.Source || u == p.Sink {
+			continue
+		}
+
+		// Step 7: insert each library buffer.
+		for bi := range tc.Buffers {
+			b := tc.Buffers[bi]
+			c2, d2 := m.AddGate(b, c.C, c.D)
+			if d2 > T(c.Z) {
+				continue
+			}
+			pushQ(&candidate.Candidate{
+				C: c2, D: d2, L: c.L, Node: c.Node,
+				Gate: candidate.Gate(bi), Z: c.Z, Regs: c.Regs, Parent: c,
+			})
+		}
+
+		if !g.RegisterInsertable(u) {
+			continue
+		}
+
+		// Step 8: insert a register (relay station); stays in domain z,
+		// latency grows by that domain's period.
+		if !regDone[c.Z][u] && m.DriveInto(reg, c.C, c.D) <= T(c.Z) {
+			regDone[c.Z][u] = true
+			pushQstar(&candidate.Candidate{
+				C: reg.C, D: reg.Setup, L: c.L + T(c.Z), Node: c.Node,
+				Gate: candidate.GateRegister, Z: c.Z, Regs: c.Regs + 1, Parent: c,
+			})
+		}
+
+		// Step 9: insert the MCFIFO — only once on a path (z flips 0→1) and
+		// at most one candidate per node ever carries it (F(v)).
+		if c.Z == 0 && !fifoDone[u] && m.DriveInto(fifo, c.C, c.D) <= T(0) {
+			fifoDone[u] = true
+			pushQstar(&candidate.Candidate{
+				C: fifo.C, D: fifo.Setup, L: c.L + Tt, Node: c.Node,
+				Gate: candidate.GateFIFO, Z: 1, Regs: c.Regs + 1, Parent: c,
+			})
+		}
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return nil, ErrNoPath
+}

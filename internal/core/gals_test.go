@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+	"clockroute/internal/route"
+)
+
+func TestGALSBasicFeasibility(t *testing.T) {
+	g := grid.MustNew(41, 5, 0.5) // 20 mm
+	p := problemOn(t, g, geom.Pt(0, 2), geom.Pt(40, 2))
+	for _, tt := range []struct{ Ts, Tt float64 }{
+		{300, 300}, {200, 300}, {300, 200}, {300, 400}, {400, 300}, {250, 300}, {300, 250},
+	} {
+		res, err := GALS(p, tt.Ts, tt.Tt, Options{})
+		if err != nil {
+			t.Fatalf("Ts=%g Tt=%g: %v", tt.Ts, tt.Tt, err)
+		}
+		lat, err := route.VerifyMultiClock(res.Path, g, p.Model, tt.Ts, tt.Tt)
+		if err != nil {
+			t.Fatalf("Ts=%g Tt=%g: verifier rejected: %v", tt.Ts, tt.Tt, err)
+		}
+		if math.Abs(lat-res.Latency) > 1e-6 {
+			t.Errorf("Ts=%g Tt=%g: verifier latency %g != reported %g", tt.Ts, tt.Tt, lat, res.Latency)
+		}
+		if res.Path.FIFOIndex() < 0 {
+			t.Errorf("Ts=%g Tt=%g: no MCFIFO on path", tt.Ts, tt.Tt)
+		}
+		if want := tt.Ts*float64(res.RegS+1) + tt.Tt*float64(res.RegT+1); math.Abs(res.Latency-want) > 1e-6 {
+			t.Errorf("Ts=%g Tt=%g: latency %g != formula %g", tt.Ts, tt.Tt, res.Latency, want)
+		}
+	}
+}
+
+func TestGALSSymmetricEqualsRBPPlusFIFO(t *testing.T) {
+	// With Ts = Tt = T and FIFO delay characteristics identical to the
+	// register, the MCFIFO behaves exactly like one mandatory register:
+	// GALS latency = max(RBP latency, 2T) ... and since the FIFO can stand
+	// in for one of RBP's registers, equality with RBP holds whenever RBP
+	// already needs a register.
+	g := grid.MustNew(41, 5, 0.5)
+	p := problemOn(t, g, geom.Pt(0, 2), geom.Pt(40, 2))
+	for _, T := range []float64{250, 400, 700, 1500} {
+		rbp, err := RBP(p, T, Options{})
+		if err != nil {
+			t.Fatalf("RBP T=%g: %v", T, err)
+		}
+		gals, err := GALS(p, T, T, Options{})
+		if err != nil {
+			t.Fatalf("GALS T=%g: %v", T, err)
+		}
+		want := math.Max(rbp.Latency, 2*T)
+		if math.Abs(gals.Latency-want) > 1e-6 {
+			t.Errorf("T=%g: GALS latency %g, want max(RBP %g, 2T %g) = %g",
+				T, gals.Latency, rbp.Latency, 2*T, want)
+		}
+	}
+}
+
+func TestGALSMirrorSymmetry(t *testing.T) {
+	// The paper notes the optimal MCFIFO location cannot be generalized —
+	// it depends on blockages, periods, and technology (Section V-C). What
+	// must hold on a symmetric, blockage-free instance is mirror symmetry:
+	// swapping (Ts, Tt) swaps the per-side register counts and preserves
+	// the total latency.
+	g := grid.MustNew(81, 3, 0.5) // 40 mm to force many registers
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(80, 1))
+
+	a, err := GALS(p, 200, 300, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GALS(p, 300, 200, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Latency-b.Latency) > 1e-6 {
+		t.Errorf("mirrored latencies differ: %g vs %g", a.Latency, b.Latency)
+	}
+	if a.RegS != b.RegT || a.RegT != b.RegS {
+		t.Errorf("mirrored register split differs: (%d,%d) vs (%d,%d)",
+			a.RegS, a.RegT, b.RegS, b.RegT)
+	}
+
+	// With these parameters the slower domain is strictly more
+	// latency-efficient per mm (see DESIGN.md), so the optimum must spend
+	// more registers there.
+	if a.RegT <= a.RegS { // Tt=300 is the slow domain
+		t.Errorf("Ts=200/Tt=300: expected more sink-side registers, got RegS=%d RegT=%d", a.RegS, a.RegT)
+	}
+
+	// Section V-C's robust takeaway: total latency stays close to the
+	// unclocked minimum source-sink delay.
+	fp, err := FastPath(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency > fp.Latency*1.35 {
+		t.Errorf("GALS latency %g strays too far from FastPath %g", a.Latency, fp.Latency)
+	}
+}
+
+func TestGALSWithBlockages(t *testing.T) {
+	g := grid.MustNew(41, 11, 0.5)
+	g.AddObstacle(geom.R(8, 0, 14, 8))
+	g.AddWiringBlockage(geom.R(22, 3, 24, 11))
+	g.AddRegisterBlockage(geom.R(28, 0, 34, 11))
+	p := problemOn(t, g, geom.Pt(0, 5), geom.Pt(40, 5))
+	res, err := GALS(p, 300, 250, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := route.VerifyMultiClock(res.Path, g, p.Model, 300, 250); err != nil {
+		t.Fatalf("verifier: %v", err)
+	}
+}
+
+func TestGALSRejectsBadPeriods(t *testing.T) {
+	g := grid.MustNew(10, 3, 0.5)
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(9, 1))
+	if _, err := GALS(p, 0, 300, Options{}); err == nil {
+		t.Error("Ts=0 must error")
+	}
+	if _, err := GALS(p, 300, -1, Options{}); err == nil {
+		t.Error("negative Tt must error")
+	}
+}
+
+func TestGALSUnreachable(t *testing.T) {
+	g := grid.MustNew(10, 10, 0.5)
+	g.AddWiringBlockage(geom.R(5, 0, 6, 10))
+	p := problemOn(t, g, geom.Pt(0, 5), geom.Pt(9, 5))
+	if _, err := GALS(p, 300, 300, Options{}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestGALSInfeasiblePeriod(t *testing.T) {
+	g := grid.MustNew(10, 3, 2.0)
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(9, 1))
+	if _, err := GALS(p, 40, 40, Options{}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestGALSRespectsRegisterBlockageBand(t *testing.T) {
+	// Clocked elements are forbidden in a middle band: the MCFIFO and every
+	// register must land outside it.
+	g := grid.MustNew(41, 3, 0.5)
+	g.AddRegisterBlockage(geom.R(10, 0, 31, 3))
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(40, 1))
+	res, err := GALS(p, 900, 900, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := route.VerifyMultiClock(res.Path, g, p.Model, 900, 900); err != nil {
+		t.Fatalf("verifier: %v", err)
+	}
+	for i, gate := range res.Path.Gates {
+		if gate.IsClocked() {
+			x := g.At(res.Path.Nodes[i]).X
+			if x >= 10 && x < 31 {
+				t.Errorf("clocked element at column %d inside the blockage band", x)
+			}
+		}
+	}
+
+	// A small period makes the 10.5 mm band unbridgeable in one cycle:
+	// no feasible solution can exist.
+	if _, err := GALS(p, 250, 250, Options{}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath (band exceeds single-cycle reach)", err)
+	}
+	// RBP agrees on both counts.
+	if _, err := RBP(p, 900, Options{}); err != nil {
+		t.Errorf("RBP at T=900: %v", err)
+	}
+	if _, err := RBP(p, 250, Options{}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("RBP at T=250: err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestGALSPruningAblation(t *testing.T) {
+	g := grid.MustNew(8, 3, 2.0)
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(7, 1))
+	for _, T := range []float64{300, 450} {
+		base, err := GALS(p, T, T, Options{})
+		if err != nil {
+			t.Fatalf("T=%g: %v", T, err)
+		}
+		noPrune, err := GALS(p, T, T, Options{DisablePruning: true})
+		if err != nil {
+			t.Fatalf("T=%g no-prune: %v", T, err)
+		}
+		if math.Abs(noPrune.Latency-base.Latency) > 1e-6 {
+			t.Errorf("T=%g: pruning changed optimum %g vs %g", T, base.Latency, noPrune.Latency)
+		}
+		if noPrune.Stats.Configs < base.Stats.Configs {
+			t.Errorf("T=%g: pruning should not increase configs", T)
+		}
+	}
+}
+
+func TestGALSTracerWavefrontLatenciesNondecreasing(t *testing.T) {
+	g := grid.MustNew(41, 3, 0.5)
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(40, 1))
+	tr := &recordingTracer{}
+	if _, err := GALS(p, 300, 250, Options{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tr.waves); i++ {
+		if tr.waves[i] < tr.waves[i-1]-1e-9 {
+			t.Fatalf("wavefront latencies not monotone: %v", tr.waves)
+		}
+	}
+	if tr.visits == 0 {
+		t.Error("tracer saw no visits")
+	}
+}
+
+func TestGALSSourceDelayWithinPeriod(t *testing.T) {
+	g := grid.MustNew(41, 3, 0.5)
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(40, 1))
+	res, err := GALS(p, 350, 500, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourceDelay > 350 {
+		t.Errorf("source segment delay %g exceeds Ts", res.SourceDelay)
+	}
+}
+
+func TestGALSMatchesBruteForceSmallGrids(t *testing.T) {
+	configs := []struct {
+		name  string
+		setup func(*grid.Grid)
+	}{
+		{"open", func(*grid.Grid) {}},
+		{"obstacle", func(g *grid.Grid) { g.AddObstacle(geom.R(1, 0, 3, 2)) }},
+		{"regblock", func(g *grid.Grid) { g.AddRegisterBlockage(geom.R(1, 1, 3, 3)) }},
+	}
+	pairs := [][2]float64{{200, 200}, {200, 300}, {300, 200}, {150, 400}}
+	for _, cfg := range configs {
+		g := grid.MustNew(4, 3, 2.0)
+		cfg.setup(g)
+		p := problemOn(t, g, geom.Pt(0, 0), geom.Pt(3, 2))
+		for _, pr := range pairs {
+			want := bruteMinGALS(g, p.Model, p.Source, p.Sink, pr[0], pr[1])
+			res, err := GALS(p, pr[0], pr[1], Options{})
+			if math.IsInf(want, 1) {
+				if !errors.Is(err, ErrNoPath) {
+					t.Errorf("%s Ts=%g Tt=%g: brute infeasible, GALS returned %v", cfg.name, pr[0], pr[1], err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%s Ts=%g Tt=%g: brute found %g, GALS failed: %v", cfg.name, pr[0], pr[1], want, err)
+				continue
+			}
+			// GALS explores walks, so it may beat the simple-path brute
+			// force; it must never be worse.
+			if res.Latency > want+1e-6 {
+				t.Errorf("%s Ts=%g Tt=%g: GALS %g > brute %g", cfg.name, pr[0], pr[1], res.Latency, want)
+			}
+			if _, err := route.VerifyMultiClock(res.Path, g, p.Model, pr[0], pr[1]); err != nil {
+				t.Errorf("%s Ts=%g Tt=%g: verifier: %v", cfg.name, pr[0], pr[1], err)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package elmore implements the delay model of the fast-path framework:
+// resistance–capacitance π-model wires, switch-level gate models, and Elmore
+// path delays (Section II of the paper).
+//
+// Two views of the same model are provided and are proven equal by the
+// package tests:
+//
+//   - the incremental recurrence the search algorithms apply per grid edge
+//     and per inserted gate (AddEdge, AddGate, DriveInto), and
+//   - closed-form stage delays used by the independent path verifier
+//     (StageDelay), which never sees the router's intermediate state.
+package elmore
+
+import (
+	"fmt"
+
+	"clockroute/internal/tech"
+)
+
+// Model evaluates delays on a grid with a fixed pitch over a fixed
+// technology. The zero value is unusable; construct with NewModel.
+type Model struct {
+	t     *tech.Tech
+	pitch float64 // mm per grid edge
+	edgeR float64 // ohm per grid edge
+	edgeC float64 // pF per grid edge
+}
+
+// NewModel binds a technology to a grid pitch (in mm).
+func NewModel(t *tech.Tech, pitchMM float64) (*Model, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if pitchMM <= 0 {
+		return nil, fmt.Errorf("elmore: non-positive pitch %g mm", pitchMM)
+	}
+	return &Model{
+		t:     t,
+		pitch: pitchMM,
+		edgeR: t.Wire.RPerMM * pitchMM,
+		edgeC: t.Wire.CPerMM * pitchMM,
+	}, nil
+}
+
+// MustNewModel is NewModel but panics on error.
+func MustNewModel(t *tech.Tech, pitchMM float64) *Model {
+	m, err := NewModel(t, pitchMM)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Tech returns the bound technology.
+func (m *Model) Tech() *tech.Tech { return m.t }
+
+// PitchMM returns the bound grid pitch.
+func (m *Model) PitchMM() float64 { return m.pitch }
+
+// EdgeR returns the resistance of one grid edge in ohm.
+func (m *Model) EdgeR() float64 { return m.edgeR }
+
+// EdgeC returns the capacitance of one grid edge in pF.
+func (m *Model) EdgeC() float64 { return m.edgeC }
+
+// AddEdge extends a partial (backward) solution across one grid edge using
+// the π-model recurrence of the fast-path algorithm:
+//
+//	c' = c + C(u,v)
+//	d' = d + R(u,v)·(c + C(u,v)/2)
+//
+// where c is the downstream capacitance seen at the near end and d the delay
+// from there to the sink.
+func (m *Model) AddEdge(c, d float64) (c2, d2 float64) {
+	return c + m.edgeC, d + m.edgeR*(c+m.edgeC/2)
+}
+
+// AddGate inserts gate e in front of a partial solution: the gate drives the
+// downstream load c, so
+//
+//	d' = d + R(e)·c + K(e)
+//	c' = C(e)
+func (m *Model) AddGate(e tech.Element, c, d float64) (c2, d2 float64) {
+	return e.C, d + e.R*c + e.K
+}
+
+// DriveInto returns the delay after the driving gate e (the source gate, or
+// a register releasing a new cycle) drives the downstream load c:
+//
+//	d' = d + R(e)·c + K(e)
+//
+// This is the quantity checked against the clock period at the upstream end
+// of every register-to-register segment.
+func (m *Model) DriveInto(e tech.Element, c, d float64) float64 {
+	return d + e.R*c + e.K
+}
+
+// WireRC returns the lumped resistance and capacitance of a wire spanning
+// the given number of grid edges.
+func (m *Model) WireRC(edges int) (r, c float64) {
+	n := float64(edges)
+	return m.edgeR * n, m.edgeC * n
+}
+
+// StageDelay returns the Elmore delay of one stage: driver gate through a
+// uniform wire of the given number of grid edges into a load capacitance:
+//
+//	K(g) + R(g)·(Cw + CL) + Rw·(Cw/2 + CL)
+//
+// The closed form equals edge-by-edge application of AddEdge followed by
+// DriveInto (verified by tests); the independent verifier uses this form so
+// it shares no code path with the routers.
+func (m *Model) StageDelay(driver tech.Element, wireEdges int, loadC float64) float64 {
+	rw, cw := m.WireRC(wireEdges)
+	return driver.K + driver.R*(cw+loadC) + rw*(cw/2+loadC)
+}
+
+// MaxSegmentEdges returns the largest number of grid edges a single
+// register-to-register segment can span with no intermediate buffers and
+// still meet period T: the largest n with
+//
+//	Setup(r) + StageDelay(r, n, C(r)) <= T.
+//
+// It returns 0 if even one edge does not fit. This bounds the wavefront
+// reach N used in the paper's complexity analysis.
+func (m *Model) MaxSegmentEdges(T float64) int {
+	r := m.t.Register
+	lo, hi := 0, 1
+	fits := func(n int) bool {
+		return r.Setup+m.StageDelay(r, n, r.C) <= T
+	}
+	if !fits(1) {
+		return 0
+	}
+	for fits(hi) {
+		lo = hi
+		hi *= 2
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MaxBufferedSegmentEdges returns the largest number of grid edges a single
+// register-to-register segment can span when buffers from the library may be
+// inserted at every grid point, still meeting period T. This is the true
+// single-cycle reach N along a straight line.
+func (m *Model) MaxBufferedSegmentEdges(T float64) int {
+	r := m.t.Register
+	// Dynamic program along a line: after j edges, keep the set of
+	// non-dominated (c,d) backward partial solutions; a segment of length j
+	// is feasible while some state can still be closed by the upstream
+	// register within T.
+	// frontier: non-dominated states after j edges.
+	frontier := []state{{c: r.C, d: r.Setup}}
+	limit := 1 << 20 // safety bound
+	reach := 0
+	for j := 1; j <= limit; j++ {
+		var next []state
+		for _, s := range frontier {
+			c2, d2 := m.AddEdge(s.c, s.d)
+			next = append(next, state{c2, d2})
+		}
+		// Optionally insert any gate at this point.
+		var withGates []state
+		for _, s := range next {
+			for _, b := range m.t.Buffers {
+				if d2 := m.DriveInto(b, s.c, s.d); d2 <= T {
+					withGates = append(withGates, state{b.C, d2})
+				}
+			}
+		}
+		next = append(next, withGates...)
+		// Prune dominated and infeasible states.
+		var kept []state
+		for _, s := range next {
+			if m.DriveInto(r, s.c, s.d) > T {
+				continue // can never be closed by the upstream register
+			}
+			dominated := false
+			for _, o := range next {
+				if o != s && o.c <= s.c && o.d <= s.d && (o.c < s.c || o.d < s.d) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return reach
+		}
+		frontier = dedupStates(kept)
+		reach = j
+	}
+	return reach
+}
+
+// state is a (downstream capacitance, delay-to-frontier) pair used by the
+// line dynamic program in MaxBufferedSegmentEdges.
+type state struct{ c, d float64 }
+
+func dedupStates(in []state) []state {
+	out := in[:0]
+	seen := make(map[state]bool, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

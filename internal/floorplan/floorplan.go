@@ -1,0 +1,248 @@
+// Package floorplan models the chip-level context the router runs in: IP
+// blocks and routing regions placed on a die, from which the routing grid's
+// blockage maps are derived (Section I-II of the paper: hard IP and macros
+// become physical obstacles, pre-routed regions become wiring blockages,
+// clock-congested regions become register blockages).
+//
+// Floorplans also carry each block's local clock period, which is what
+// turns a block-to-block net into a single-clock (RBP) or multi-clock
+// (GALS) routing problem.
+package floorplan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+)
+
+// BlockKind classifies how a block constrains routing.
+type BlockKind int
+
+const (
+	// HardIP blocks gate insertion (wires may pass over on upper metal).
+	HardIP BlockKind = iota
+	// WiringDense blocks routing entirely (e.g. a pre-routed datapath with
+	// no free tracks).
+	WiringDense
+	// ClockQuiet forbids only clocked elements (routing the clock there
+	// would congest the clock tree); buffers are fine.
+	ClockQuiet
+)
+
+// String names the kind.
+func (k BlockKind) String() string {
+	switch k {
+	case HardIP:
+		return "hard-ip"
+	case WiringDense:
+		return "wiring-dense"
+	case ClockQuiet:
+		return "clock-quiet"
+	}
+	return fmt.Sprintf("BlockKind(%d)", int(k))
+}
+
+// Side selects a block boundary for pin placement.
+type Side int
+
+// Block boundary sides.
+const (
+	SideEast Side = iota
+	SideWest
+	SideNorth
+	SideSouth
+)
+
+// Block is one placed component.
+type Block struct {
+	Name string
+	Kind BlockKind
+	Rect geom.Rect // grid coordinates
+	// PeriodPS is the block's local clock period; 0 means "chip clock".
+	// Two blocks with different periods communicate through GALS routing.
+	PeriodPS float64
+}
+
+// Floorplan is a die with placed blocks.
+type Floorplan struct {
+	GridW, GridH int
+	PitchMM      float64
+	Blocks       []Block
+}
+
+// Bounds returns the die rectangle in grid coordinates.
+func (f *Floorplan) Bounds() geom.Rect { return geom.Rect{MaxX: f.GridW, MaxY: f.GridH} }
+
+// DieMM returns the die dimensions in millimeters.
+func (f *Floorplan) DieMM() (w, h float64) {
+	return float64(f.GridW-1) * f.PitchMM, float64(f.GridH-1) * f.PitchMM
+}
+
+// Validate reports the first structural problem.
+func (f *Floorplan) Validate() error {
+	if f.GridW < 2 || f.GridH < 1 {
+		return fmt.Errorf("floorplan: grid %dx%d too small", f.GridW, f.GridH)
+	}
+	if f.PitchMM <= 0 {
+		return fmt.Errorf("floorplan: non-positive pitch %g", f.PitchMM)
+	}
+	seen := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.Name == "" {
+			return fmt.Errorf("floorplan: block with empty name at %v", b.Rect)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("floorplan: duplicate block name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Rect.Empty() {
+			return fmt.Errorf("floorplan: block %q has empty extent", b.Name)
+		}
+		if b.Rect.Intersect(f.Bounds()) != b.Rect {
+			return fmt.Errorf("floorplan: block %q extends off the die", b.Name)
+		}
+		if b.PeriodPS < 0 {
+			return fmt.Errorf("floorplan: block %q has negative period", b.Name)
+		}
+	}
+	return nil
+}
+
+// Block returns the named block.
+func (f *Floorplan) Block(name string) (Block, bool) {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Block{}, false
+}
+
+// BuildGrid materializes the routing grid with every block's blockage
+// applied.
+func (f *Floorplan) BuildGrid() (*grid.Grid, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := grid.New(f.GridW, f.GridH, f.PitchMM)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range f.Blocks {
+		switch b.Kind {
+		case HardIP:
+			g.AddObstacle(b.Rect)
+		case WiringDense:
+			g.AddWiringBlockage(b.Rect)
+		case ClockQuiet:
+			g.AddRegisterBlockage(b.Rect)
+		default:
+			return nil, fmt.Errorf("floorplan: block %q has unknown kind %v", b.Name, b.Kind)
+		}
+	}
+	return g, nil
+}
+
+// Pin returns the grid point just outside the named block's boundary at the
+// midpoint of the given side — where the block's port enters the routing
+// fabric. An error is returned if the pin would fall off the die.
+func (f *Floorplan) Pin(blockName string, side Side) (geom.Point, error) {
+	b, ok := f.Block(blockName)
+	if !ok {
+		return geom.Point{}, fmt.Errorf("floorplan: no block %q", blockName)
+	}
+	var p geom.Point
+	switch side {
+	case SideEast:
+		p = geom.Pt(b.Rect.MaxX, (b.Rect.MinY+b.Rect.MaxY-1)/2)
+	case SideWest:
+		p = geom.Pt(b.Rect.MinX-1, (b.Rect.MinY+b.Rect.MaxY-1)/2)
+	case SideNorth:
+		p = geom.Pt((b.Rect.MinX+b.Rect.MaxX-1)/2, b.Rect.MaxY)
+	case SideSouth:
+		p = geom.Pt((b.Rect.MinX+b.Rect.MaxX-1)/2, b.Rect.MinY-1)
+	default:
+		return geom.Point{}, fmt.Errorf("floorplan: unknown side %d", side)
+	}
+	if !p.In(f.Bounds()) {
+		return geom.Point{}, fmt.Errorf("floorplan: pin of %q on side %v falls off the die", blockName, side)
+	}
+	return p, nil
+}
+
+// Random generates a seeded random floorplan with n non-overlapping blocks
+// of mixed kinds — the workload generator for blockage-heavy experiments.
+// Generated blocks keep one grid row/column of clearance from each other
+// and two from the die boundary so endpoints remain routable.
+func Random(seed int64, gridW, gridH int, pitchMM float64, n int) (*Floorplan, error) {
+	f := &Floorplan{GridW: gridW, GridH: gridH, PitchMM: pitchMM}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []BlockKind{HardIP, HardIP, WiringDense, ClockQuiet} // IP-heavy mix
+	const maxTries = 200
+	for i := 0; i < n; i++ {
+		placed := false
+		for try := 0; try < maxTries && !placed; try++ {
+			w := 2 + rng.Intn(max(2, gridW/5))
+			h := 2 + rng.Intn(max(2, gridH/5))
+			if w >= gridW-4 || h >= gridH-4 {
+				continue
+			}
+			x := 2 + rng.Intn(gridW-w-4)
+			y := 2 + rng.Intn(gridH-h-4)
+			r := geom.R(x, y, x+w, y+h)
+			clear := true
+			for _, b := range f.Blocks {
+				if b.Rect.Inset(-1).Overlaps(r) {
+					clear = false
+					break
+				}
+			}
+			if !clear {
+				continue
+			}
+			f.Blocks = append(f.Blocks, Block{
+				Name: fmt.Sprintf("blk%d", i),
+				Kind: kinds[rng.Intn(len(kinds))],
+				Rect: r,
+			})
+			placed = true
+		}
+	}
+	return f, nil
+}
+
+// SoC25mm returns the experimental die of Section V: 25×25 mm at the given
+// grid pitch, populated with a representative set of IP blocks. The source
+// and sink pins used by the paper's tables sit 40 mm apart (Manhattan) on
+// this die; see internal/bench.
+func SoC25mm(pitchMM float64) (*Floorplan, error) {
+	if pitchMM <= 0 {
+		return nil, fmt.Errorf("floorplan: non-positive pitch %g", pitchMM)
+	}
+	// 25 mm span => 25/pitch edges => +1 nodes.
+	n := int(25.0/pitchMM) + 1
+	f := &Floorplan{GridW: n, GridH: n, PitchMM: pitchMM}
+	// Representative GALS SoC: an embedded CPU, a DSP at its own clock, two
+	// memories, a pre-routed datapath and a clock-quiet analog corner.
+	at := func(x0, y0, x1, y1 float64) geom.Rect {
+		s := 1.0 / pitchMM
+		return geom.R(int(x0*s), int(y0*s), int(x1*s), int(y1*s))
+	}
+	f.Blocks = []Block{
+		{Name: "cpu", Kind: HardIP, Rect: at(3, 14, 9, 21), PeriodPS: 500},
+		{Name: "dsp", Kind: HardIP, Rect: at(16, 4, 22, 9), PeriodPS: 300},
+		{Name: "sram0", Kind: HardIP, Rect: at(4, 4, 8, 8)},
+		{Name: "sram1", Kind: HardIP, Rect: at(17, 16, 21, 20)},
+		{Name: "datapath", Kind: WiringDense, Rect: at(11, 10, 13.5, 15)},
+		{Name: "analog", Kind: ClockQuiet, Rect: at(9.5, 0.5, 15.5, 3)},
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,213 @@
+package floorplan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clockroute/internal/geom"
+)
+
+func TestValidate(t *testing.T) {
+	good := &Floorplan{GridW: 20, GridH: 20, PitchMM: 0.5, Blocks: []Block{
+		{Name: "a", Kind: HardIP, Rect: geom.R(2, 2, 5, 5)},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good floorplan: %v", err)
+	}
+	cases := []struct {
+		name string
+		fp   *Floorplan
+		frag string
+	}{
+		{"tiny", &Floorplan{GridW: 1, GridH: 1, PitchMM: 1}, "too small"},
+		{"pitch", &Floorplan{GridW: 10, GridH: 10, PitchMM: 0}, "pitch"},
+		{"noname", &Floorplan{GridW: 10, GridH: 10, PitchMM: 1,
+			Blocks: []Block{{Rect: geom.R(1, 1, 2, 2)}}}, "empty name"},
+		{"dup", &Floorplan{GridW: 10, GridH: 10, PitchMM: 1, Blocks: []Block{
+			{Name: "x", Rect: geom.R(1, 1, 2, 2)},
+			{Name: "x", Rect: geom.R(3, 3, 4, 4)},
+		}}, "duplicate"},
+		{"empty", &Floorplan{GridW: 10, GridH: 10, PitchMM: 1,
+			Blocks: []Block{{Name: "x"}}}, "empty extent"},
+		{"offdie", &Floorplan{GridW: 10, GridH: 10, PitchMM: 1,
+			Blocks: []Block{{Name: "x", Rect: geom.R(5, 5, 15, 8)}}}, "off the die"},
+		{"period", &Floorplan{GridW: 10, GridH: 10, PitchMM: 1,
+			Blocks: []Block{{Name: "x", Rect: geom.R(1, 1, 2, 2), PeriodPS: -3}}}, "negative period"},
+	}
+	for _, c := range cases {
+		err := c.fp.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestBuildGridAppliesKinds(t *testing.T) {
+	fp := &Floorplan{GridW: 20, GridH: 20, PitchMM: 0.5, Blocks: []Block{
+		{Name: "ip", Kind: HardIP, Rect: geom.R(2, 2, 5, 5)},
+		{Name: "dense", Kind: WiringDense, Rect: geom.R(8, 8, 11, 11)},
+		{Name: "quiet", Kind: ClockQuiet, Rect: geom.R(14, 14, 17, 17)},
+	}}
+	g, err := fp.BuildGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := g.ID(geom.Pt(3, 3))
+	if g.Insertable(ip) {
+		t.Error("HardIP node must not be insertable")
+	}
+	if g.Degree(ip) != 4 {
+		t.Error("HardIP must keep routing edges")
+	}
+	dense := g.ID(geom.Pt(9, 9))
+	if g.Degree(dense) != 0 {
+		t.Error("WiringDense node must lose all edges")
+	}
+	quiet := g.ID(geom.Pt(15, 15))
+	if !g.Insertable(quiet) || g.RegisterInsertable(quiet) {
+		t.Error("ClockQuiet must allow buffers but not registers")
+	}
+}
+
+func TestBlockLookup(t *testing.T) {
+	fp := &Floorplan{GridW: 10, GridH: 10, PitchMM: 1, Blocks: []Block{
+		{Name: "cpu", Kind: HardIP, Rect: geom.R(1, 1, 3, 3), PeriodPS: 500},
+	}}
+	b, ok := fp.Block("cpu")
+	if !ok || b.PeriodPS != 500 {
+		t.Errorf("Block(cpu) = %+v, %v", b, ok)
+	}
+	if _, ok := fp.Block("gpu"); ok {
+		t.Error("missing block reported found")
+	}
+}
+
+func TestPinPlacement(t *testing.T) {
+	fp := &Floorplan{GridW: 20, GridH: 20, PitchMM: 1, Blocks: []Block{
+		{Name: "b", Kind: HardIP, Rect: geom.R(5, 5, 9, 11)},
+	}}
+	g, err := fp.BuildGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for side, want := range map[Side]geom.Point{
+		SideEast:  geom.Pt(9, 7),  // MaxX, mid Y
+		SideWest:  geom.Pt(4, 7),  // MinX-1
+		SideNorth: geom.Pt(6, 11), // mid X, MaxY
+		SideSouth: geom.Pt(6, 4),  // MinY-1
+	} {
+		p, err := fp.Pin("b", side)
+		if err != nil {
+			t.Fatalf("side %v: %v", side, err)
+		}
+		if p != want {
+			t.Errorf("side %v: pin %v, want %v", side, p, want)
+		}
+		if !g.RegisterInsertable(g.ID(p)) {
+			t.Errorf("side %v: pin %v lies inside a blockage", side, p)
+		}
+	}
+	if _, err := fp.Pin("nope", SideEast); err == nil {
+		t.Error("missing block must fail")
+	}
+}
+
+func TestPinOffDie(t *testing.T) {
+	fp := &Floorplan{GridW: 10, GridH: 10, PitchMM: 1, Blocks: []Block{
+		{Name: "corner", Kind: HardIP, Rect: geom.R(0, 0, 3, 3)},
+	}}
+	if _, err := fp.Pin("corner", SideWest); err == nil {
+		t.Error("pin off the west edge must fail")
+	}
+	if _, err := fp.Pin("corner", SideSouth); err == nil {
+		t.Error("pin off the south edge must fail")
+	}
+	if _, err := fp.Pin("corner", SideEast); err != nil {
+		t.Errorf("east pin should fit: %v", err)
+	}
+}
+
+func TestRandomFloorplansAreValidAndDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		fp, err := Random(seed, 40, 40, 0.5, 8)
+		if err != nil {
+			return false
+		}
+		if fp.Validate() != nil {
+			return false
+		}
+		for i := range fp.Blocks {
+			for j := i + 1; j < len(fp.Blocks); j++ {
+				if fp.Blocks[i].Rect.Overlaps(fp.Blocks[j].Rect) {
+					return false
+				}
+			}
+		}
+		_, err = fp.BuildGrid()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	a, err := Random(7, 40, 40, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(7, 40, 40, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(a.Blocks), len(b.Blocks))
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i] != b.Blocks[i] {
+			t.Fatalf("block %d differs: %+v vs %+v", i, a.Blocks[i], b.Blocks[i])
+		}
+	}
+}
+
+func TestSoC25mm(t *testing.T) {
+	fp, err := SoC25mm(0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := fp.DieMM()
+	if w != 25 || h != 25 {
+		t.Errorf("die = %gx%g mm, want 25x25", w, h)
+	}
+	if fp.GridW != 201 || fp.GridH != 201 {
+		t.Errorf("grid = %dx%d, want 201x201", fp.GridW, fp.GridH)
+	}
+	if _, err := fp.BuildGrid(); err != nil {
+		t.Fatal(err)
+	}
+	cpu, ok := fp.Block("cpu")
+	if !ok || cpu.PeriodPS != 500 {
+		t.Error("cpu block missing or wrong period")
+	}
+	dsp, ok := fp.Block("dsp")
+	if !ok || dsp.PeriodPS != 300 {
+		t.Error("dsp block missing or wrong period")
+	}
+	// Coarser pitch also valid.
+	if _, err := SoC25mm(0.5); err != nil {
+		t.Errorf("0.5mm pitch: %v", err)
+	}
+	if _, err := SoC25mm(0); err == nil {
+		t.Error("zero pitch must fail")
+	}
+}
+
+func TestBlockKindString(t *testing.T) {
+	if HardIP.String() != "hard-ip" || WiringDense.String() != "wiring-dense" || ClockQuiet.String() != "clock-quiet" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(BlockKind(9).String(), "9") {
+		t.Error("unknown kind should include the number")
+	}
+}

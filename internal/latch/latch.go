@@ -1,0 +1,277 @@
+// Package latch implements the transparent-latch routing extension: the
+// buffered routing path is synchronized with two-phase level-sensitive
+// latches instead of edge-triggered registers (the direction of Hassoun,
+// "Optimal use of 2-phase transparent latches in buffered maze routing",
+// referenced as [9] by the paper).
+//
+// Latches allow *time borrowing*: a latch is transparent for half the clock
+// period, so data arriving late in one half-cycle slot may eat into the
+// next stage's time, as long as it arrives before the latch closes. The
+// practical consequence is that segment delays no longer need to be
+// individually balanced against the period — only the cumulative schedule
+// matters — so latch-based routes can achieve a latency that register-based
+// routes (whose every segment is hard-bounded by T) cannot, particularly
+// around blockages.
+//
+// # Timing model
+//
+// The sink register captures at time 0 and every clock edge is a multiple
+// of T; the source register launches at −k·T for the smallest feasible
+// integer k, so the route latency is k·T. The j-th latch from the sink is
+// transparent during the half-cycle slot
+//
+//	W_j = [−(j+1)·T/2, −j·T/2)
+//
+// with alternating phases implied by the alternating slot parity. Data must
+// arrive at latch j before its slot closes (≤ −j·T/2 − Setup) and departs
+// at max(arrival, slot open) — the max is the time-borrowing rule.
+//
+// # Algorithm
+//
+// Iterative deepening over the latency k: for each k the backward dynamic
+// program searches for any feasible labeling whose source launch −k·T meets
+// the accumulated deadline. Candidates carry (c, d, deadline): c and d are
+// the usual fast-path load/delay, and deadline is the latest permissible
+// arrival time at the most recent downstream latch (which folds the entire
+// downstream borrowing chain into one scalar). Dominance pruning is
+// three-dimensional — (c≤, d≤, deadline≥) — reusing the max-slack
+// tri-store. Waves iterate over latch count, so within a feasible k the
+// returned solution also minimizes the number of latches.
+package latch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"clockroute/internal/candidate"
+	"clockroute/internal/core"
+	"clockroute/internal/pqueue"
+	"clockroute/internal/route"
+	"clockroute/internal/tech"
+)
+
+// Result reports a latch-based route.
+type Result struct {
+	Path *route.Path
+	// LatencyPS is k·T: the capture edge minus the launch edge.
+	LatencyPS float64
+	// Cycles is k.
+	Cycles int
+	// Latches is the number of inserted transparent latches.
+	Latches int
+	Buffers int
+	Stats   core.Stats
+}
+
+// ErrNoPath mirrors core.ErrNoPath.
+var ErrNoPath = errors.New("latch: no feasible latch-based routing solution")
+
+// MaxCyclesDefault bounds the iterative deepening when the caller passes 0.
+const MaxCyclesDefault = 64
+
+// Route finds the minimum-latency latch-buffered path for clock period T.
+// l is the latch element (tech.Tech.Latch() derives one from the register);
+// maxCycles bounds the latency search in clock cycles (0 = default).
+func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.Options) (*Result, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("latch: non-positive clock period %g", T)
+	}
+	if l.Kind != tech.KindLatch {
+		return nil, fmt.Errorf("latch: element %q has kind %v, want latch", l.Name, l.Kind)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if maxCycles <= 0 {
+		maxCycles = MaxCyclesDefault
+	}
+	if !p.Grid.Reachable(p.Source, p.Sink) {
+		return nil, ErrNoPath
+	}
+
+	start := time.Now()
+	total := &core.Stats{}
+	for k := 1; k <= maxCycles; k++ {
+		res, err := routeFixedLatency(p, T, l, k, opts, total)
+		if err == nil {
+			res.Stats.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if !errors.Is(err, ErrNoPath) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w within %d cycles", ErrNoPath, maxCycles)
+}
+
+// routeFixedLatency searches for any feasible solution with latency exactly
+// k·T (source launch at −k·T).
+func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts core.Options, total *core.Stats) (*Result, error) {
+	g, m := p.Grid, p.Model
+	tc := m.Tech()
+	reg := tc.Register
+	launch := -float64(k) * T
+
+	// Latch j occupies slot [-(j+1)T/2, -jT/2); a latch whose slot opens
+	// before the launch edge cannot be traversed.
+	maxLatches := 2*k - 1
+
+	// Candidates reuse the core representation: Slack holds the deadline,
+	// Regs the latch count. Waves iterate over latch count, pruned by the
+	// 3-D (c, d, deadline) store.
+	store := candidate.NewTriStore(g.NumNodes())
+	waves := []*pqueue.Heap[*candidate.Candidate]{{}}
+	waveAt := func(w int) *pqueue.Heap[*candidate.Candidate] {
+		for len(waves) <= w {
+			waves = append(waves, &pqueue.Heap[*candidate.Candidate]{})
+		}
+		return waves[w]
+	}
+	stats := core.Stats{}
+	push := func(w int, c *candidate.Candidate) {
+		if !opts.DisablePruning {
+			if !store.Insert(c) {
+				stats.Pruned++
+				return
+			}
+		}
+		waveAt(w).Push(c.D, c)
+		stats.Pushed++
+		n := 0
+		for _, q := range waves {
+			n += q.Len()
+		}
+		if n > stats.MaxQSize {
+			stats.MaxQSize = n
+		}
+	}
+
+	// Initial candidate at the sink register: deadline = −Setup(reg).
+	push(0, &candidate.Candidate{
+		C: reg.C, D: 0, Slack: -reg.Setup,
+		Node: int32(p.Sink), Gate: candidate.GateRegister,
+	})
+
+	finishStats := func() {
+		total.Configs += stats.Configs
+		total.Pushed += stats.Pushed
+		total.Pruned += stats.Pruned
+		total.Waves += stats.Waves
+		if stats.MaxQSize > total.MaxQSize {
+			total.MaxQSize = stats.MaxQSize
+		}
+	}
+
+	for cur := 0; cur < len(waves); cur++ {
+		q := waves[cur]
+		if q.Len() == 0 {
+			continue
+		}
+		store.NextEpoch()
+		stats.Waves++
+		if opts.Trace != nil {
+			opts.Trace.WaveStart(cur, float64(k)*T)
+		}
+		for q.Len() > 0 {
+			_, c, _ := q.Pop()
+			if c.Dead {
+				continue
+			}
+			stats.Configs++
+			if opts.MaxConfigs > 0 && stats.Configs > opts.MaxConfigs {
+				finishStats()
+				return nil, ErrNoPath
+			}
+			if opts.Trace != nil {
+				opts.Trace.Visit(cur, int(c.Node))
+			}
+			u := int(c.Node)
+
+			// Source arrival: the launch edge −k·T plus the register's
+			// drive delay must meet the accumulated deadline, and the
+			// source stage itself must fit in one period — the register
+			// launches a new word every cycle, so a longer combinational
+			// stretch would collapse throughput (the paper's intro rejects
+			// exactly that multicycle-combinational "solution 1").
+			// Interior stages are bounded by T automatically by the
+			// half-period slot schedule.
+			if u == p.Source {
+				drive := m.DriveInto(reg, c.C, c.D)
+				if launch+drive <= c.Slack && drive <= T {
+					finishStats()
+					res := &Result{
+						LatencyPS: float64(k) * T,
+						Cycles:    k,
+						Latches:   int(c.Regs),
+						Stats:     *total,
+					}
+					res.Path = route.FromCandidate(c, candidate.GateRegister, candidate.GateRegister)
+					res.Buffers = res.Path.NumBuffers()
+					res.Latches = res.Path.NumLatches()
+					return res, nil
+				}
+			}
+
+			// Edge extension. A partial solution whose launch-time bound is
+			// already violated can never recover (deadline only shrinks),
+			// so prune when even an immediate ideal driver cannot make it.
+			g.ForNeighbors(u, func(v int) {
+				c2, d2 := m.AddEdge(c.C, c.D)
+				if launch+d2 > c.Slack || d2 > T {
+					return
+				}
+				push(cur, &candidate.Candidate{
+					C: c2, D: d2, Slack: c.Slack, Node: int32(v),
+					Gate: candidate.GateNone, Regs: c.Regs, Parent: c,
+				})
+			})
+
+			if !g.Insertable(u) || c.Gate != candidate.GateNone ||
+				u == p.Source || u == p.Sink {
+				continue
+			}
+
+			// Buffer insertion.
+			for bi := range tc.Buffers {
+				b := tc.Buffers[bi]
+				c2, d2 := m.AddGate(b, c.C, c.D)
+				if launch+d2 > c.Slack || d2 > T {
+					continue
+				}
+				push(cur, &candidate.Candidate{
+					C: c2, D: d2, Slack: c.Slack, Node: c.Node,
+					Gate: candidate.Gate(bi), Regs: c.Regs, Parent: c,
+				})
+			}
+
+			// Latch insertion: latch j+1 in slot [-(j+2)T/2, -(j+1)T/2).
+			j := int(c.Regs)
+			if j >= maxLatches || !g.RegisterInsertable(u) {
+				continue
+			}
+			open := -float64(j+2) * T / 2
+			close := -float64(j+1) * T / 2
+			// Latest departure (D-pin event) from the latch such that the
+			// downstream chain still meets its deadline: the latch then
+			// contributes K + R·c plus the accumulated wire delay d.
+			rDep := c.Slack - (l.K + l.R*c.C + c.D)
+			if open > rDep {
+				continue // even the earliest possible departure is too late
+			}
+			deadline := rDep
+			if close-l.Setup < deadline {
+				deadline = close - l.Setup
+			}
+			if launch > deadline {
+				continue // the launch edge itself cannot reach this latch
+			}
+			push(cur+1, &candidate.Candidate{
+				C: l.C, D: 0, Slack: deadline, Node: c.Node,
+				Gate: candidate.GateLatch, Regs: c.Regs + 1, Parent: c,
+			})
+		}
+	}
+	finishStats()
+	return nil, ErrNoPath
+}

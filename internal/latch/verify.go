@@ -1,0 +1,74 @@
+package latch
+
+import (
+	"errors"
+	"fmt"
+
+	"clockroute/internal/candidate"
+	"clockroute/internal/elmore"
+	"clockroute/internal/grid"
+	"clockroute/internal/route"
+)
+
+// verifyEps absorbs float noise between the backward DP and the forward
+// simulation, in ps.
+const verifyEps = 1e-6
+
+// Verify independently checks a latch-based route by forward simulation:
+// it launches the data at −k·T, propagates it through every segment using
+// closed-form Elmore stage delays, applies the transparency windows
+// (arrival must precede each latch's close minus setup; departure waits for
+// the open — time borrowing), and requires capture at the sink register by
+// time 0. It shares no code path with the backward search.
+func Verify(p *route.Path, g *grid.Grid, m *elmore.Model, T float64, k int) error {
+	if err := p.CheckStructure(g); err != nil {
+		return err
+	}
+	if k < 1 {
+		return fmt.Errorf("latch: non-positive cycle count %d", k)
+	}
+	// Internal clocked elements must all be latches.
+	for i := 1; i < len(p.Gates)-1; i++ {
+		switch p.Gates[i] {
+		case candidate.GateRegister, candidate.GateFIFO:
+			return errors.New("latch: internal register or FIFO on a latch path")
+		}
+	}
+
+	tc := m.Tech()
+	l := tc.Latch()
+	reg := tc.Register
+	segs := p.SegmentDelays(m) // source→sink; each includes the closing setup
+	latches := len(segs) - 1
+	if latches != p.NumLatches() {
+		return fmt.Errorf("latch: segment count %d inconsistent with %d latches", len(segs), p.NumLatches())
+	}
+
+	t := -float64(k) * T // launch edge; the first stage includes the source register's drive
+	for i, sd := range segs {
+		if i < latches {
+			// This segment ends at the (i+1)-th latch from the source,
+			// which is latch j = latches - i counted from the sink.
+			j := latches - i
+			closeT := -float64(j) * T / 2
+			openT := -float64(j+1) * T / 2
+			aRaw := t + sd - l.Setup // D-pin arrival (setup excluded)
+			if aRaw > closeT-l.Setup+verifyEps {
+				return fmt.Errorf("latch: arrival %.3f at latch %d misses close %.3f (setup %.3f)",
+					aRaw, j, closeT, l.Setup)
+			}
+			// Time borrowing: early data waits for transparency.
+			t = aRaw
+			if openT > t {
+				t = openT
+			}
+			continue
+		}
+		// Final segment into the sink register capturing at 0.
+		aRaw := t + sd - reg.Setup
+		if aRaw > -reg.Setup+verifyEps {
+			return fmt.Errorf("latch: sink arrival %.3f misses capture at 0 (setup %.3f)", aRaw, reg.Setup)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package mazeroute is the naive baseline the paper's simultaneous
+// formulation is implicitly compared against: route first (a plain
+// shortest-path maze route ignoring delay), then insert buffers and
+// registers optimally on that fixed route.
+//
+// The insertion step is exact for the fixed path (it reuses the 1-D oracle
+// DP), so every gap between mazeroute and RBP is attributable purely to the
+// lack of simultaneous routing — e.g. the shortest path may run over an IP
+// block with no register sites while a slightly longer detour clocks
+// freely.
+package mazeroute
+
+import (
+	"errors"
+	"fmt"
+
+	"clockroute/internal/core"
+	"clockroute/internal/oracle"
+)
+
+// ErrNoPath mirrors core.ErrNoPath for the baseline.
+var ErrNoPath = errors.New("mazeroute: no feasible solution on the shortest path")
+
+// Result reports the baseline's solution.
+type Result struct {
+	PathNodes []int   // the shortest path, source to sink
+	Registers int     // registers inserted by the exact labeling DP
+	Latency   float64 // T × (Registers+1)
+	Delay     float64 // source-adjacent segment delay
+}
+
+// Route computes a BFS shortest path for the problem and then labels it
+// optimally for clock period T. Ties between equal-length paths are broken
+// deterministically (lowest node ID first).
+func Route(p *core.Problem, T float64) (*Result, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("mazeroute: non-positive period %g", T)
+	}
+	g := p.Grid
+	dist := g.BFS(p.Sink)
+	if dist[p.Source] < 0 {
+		return nil, ErrNoPath
+	}
+
+	// Walk downhill from the source toward the sink.
+	nodes := []int{p.Source}
+	for cur := p.Source; cur != p.Sink; {
+		next := -1
+		g.ForNeighbors(cur, func(v int) {
+			if dist[v] == dist[cur]-1 && (next == -1 || v < next) {
+				next = v
+			}
+		})
+		if next == -1 {
+			return nil, ErrNoPath // cannot happen on a consistent BFS tree
+		}
+		nodes = append(nodes, next)
+		cur = next
+	}
+
+	// Exact labeling on the fixed path via the 1-D oracle, with the grid's
+	// insertion masks projected onto the path positions.
+	n := len(nodes) - 1
+	bufOK := make([]bool, n+1)
+	regOK := make([]bool, n+1)
+	for i, v := range nodes {
+		bufOK[i] = g.Insertable(v)
+		regOK[i] = g.RegisterInsertable(v)
+	}
+	line := oracle.Line{Edges: n, PitchMM: g.PitchMM(), BufOK: bufOK, RegOK: regOK}
+	res, err := oracle.MinRegisters(line, p.Model.Tech(), T)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoPath, err)
+	}
+	return &Result{
+		PathNodes: nodes,
+		Registers: res.Registers,
+		Latency:   res.Latency,
+		Delay:     res.Delay,
+	}, nil
+}

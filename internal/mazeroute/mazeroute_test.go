@@ -1,0 +1,124 @@
+package mazeroute
+
+import (
+	"errors"
+	"testing"
+
+	"clockroute/internal/core"
+	"clockroute/internal/elmore"
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+	"clockroute/internal/tech"
+)
+
+func problemOn(t *testing.T, g *grid.Grid, s, tt geom.Point) *core.Problem {
+	t.Helper()
+	m := elmore.MustNewModel(tech.CongPan70nm(), g.PitchMM())
+	p, err := core.NewProblem(g, m, g.ID(s), g.ID(tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMatchesRBPOnOpenGrid(t *testing.T) {
+	// With nothing blocking the shortest path, route-then-insert is as good
+	// as simultaneous.
+	g := grid.MustNew(41, 3, 0.5)
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(40, 1))
+	for _, T := range []float64{200, 400, 900} {
+		naive, err := Route(p, T)
+		if err != nil {
+			t.Fatalf("T=%g: %v", T, err)
+		}
+		opt, err := core.RBP(p, T, core.Options{})
+		if err != nil {
+			t.Fatalf("T=%g: %v", T, err)
+		}
+		if naive.Latency != opt.Latency {
+			t.Errorf("T=%g: naive %g != RBP %g on open grid", T, naive.Latency, opt.Latency)
+		}
+		if len(naive.PathNodes) != 41 {
+			t.Errorf("T=%g: path length %d, want straight 41 nodes", T, len(naive.PathNodes))
+		}
+	}
+}
+
+func TestNeverBeatsRBP(t *testing.T) {
+	// On arbitrary blocked grids the baseline is at best equal.
+	g := grid.MustNew(21, 9, 0.5)
+	g.AddObstacle(geom.R(5, 2, 16, 7))
+	p := problemOn(t, g, geom.Pt(0, 4), geom.Pt(20, 4))
+	for _, T := range []float64{150, 250, 400} {
+		opt, optErr := core.RBP(p, T, core.Options{})
+		naive, naiveErr := Route(p, T)
+		if naiveErr != nil {
+			continue // baseline failing where RBP succeeds is expected
+		}
+		if optErr != nil {
+			t.Fatalf("T=%g: baseline routed but RBP failed: %v", T, optErr)
+		}
+		if naive.Latency < opt.Latency {
+			t.Errorf("T=%g: naive %g beat RBP %g — impossible", T, naive.Latency, opt.Latency)
+		}
+	}
+}
+
+func TestLosesToRBPWhenShortestPathLacksRegisterSites(t *testing.T) {
+	// The straight corridor is covered by an IP block (no register sites),
+	// but BFS still prefers it because it is shortest. RBP detours and wins.
+	g := grid.MustNew(21, 5, 1.0)
+	g.AddObstacle(geom.R(1, 2, 20, 3)) // covers the straight row between the pins
+	p := problemOn(t, g, geom.Pt(0, 2), geom.Pt(20, 2))
+	T := 320.0 // 20 mm needs ~4+ cycles; registers required
+
+	naive, naiveErr := Route(p, T)
+	opt, optErr := core.RBP(p, T, core.Options{})
+	if optErr != nil {
+		t.Fatalf("RBP must solve the detour instance: %v", optErr)
+	}
+	if naiveErr == nil && naive.Latency <= opt.Latency {
+		t.Errorf("baseline (%g) should lose to RBP (%g) on the blocked corridor", naive.Latency, opt.Latency)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := grid.MustNew(10, 10, 0.5)
+	g.AddWiringBlockage(geom.R(5, 0, 6, 10))
+	p := problemOn(t, g, geom.Pt(0, 5), geom.Pt(9, 5))
+	if _, err := Route(p, 300); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestBadPeriod(t *testing.T) {
+	g := grid.MustNew(10, 3, 0.5)
+	p := problemOn(t, g, geom.Pt(0, 1), geom.Pt(9, 1))
+	if _, err := Route(p, 0); err == nil {
+		t.Error("T=0 must fail")
+	}
+}
+
+func TestDeterministicTieBreaking(t *testing.T) {
+	g := grid.MustNew(9, 9, 0.5)
+	p := problemOn(t, g, geom.Pt(0, 0), geom.Pt(8, 8))
+	a, err := Route(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Route(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.PathNodes) != len(b.PathNodes) {
+		t.Fatal("nondeterministic path length")
+	}
+	for i := range a.PathNodes {
+		if a.PathNodes[i] != b.PathNodes[i] {
+			t.Fatal("nondeterministic path")
+		}
+	}
+	if len(a.PathNodes) != 17 {
+		t.Errorf("diagonal path nodes = %d, want 17", len(a.PathNodes))
+	}
+}

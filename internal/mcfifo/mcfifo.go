@@ -1,0 +1,264 @@
+// Package mcfifo is a cycle-level behavioral simulation of the mixed-clock
+// communication substrate the GALS router plans for: the Chelcea–Nowick
+// mixed-clock FIFO (Section IV-A, Fig. 7) bracketed by chains of Carloni
+// relay stations (Fig. 8) in the sender and receiver clock domains.
+//
+// The simulation validates the latency model the router optimizes — a path
+// with pS source-side and pT sink-side relay stations delivers its first
+// word at a time L with
+//
+//	model − Tt < L ≤ model,   model = Ts×(pS+1) + Tt×(pT+1)
+//
+// (the model charges a full receiver cycle for the FIFO crossing; the
+// actual sender/receiver clock alignment may recover part of one Tt, a term
+// the paper treats as common to all routing solutions) — and exercises
+// the properties the protocol must guarantee: FIFO order, no loss under
+// backpressure, and full throughput at the slower clock's rate.
+//
+// Metastability handling inside the FIFO is abstracted away, exactly as in
+// the paper: the synchronization delay is a constant common to every
+// solution.
+package mcfifo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Packet is one data word moving through the channel.
+type Packet struct {
+	ID         int
+	Payload    uint64
+	LaunchedAt float64 // time the sender's output register released it, ps
+	EnteredAt  float64 // time it was latched into the MCFIFO, ps
+	ReceivedAt float64 // time the receiver's capture register latched it, ps
+}
+
+// Config describes a mixed-clock channel.
+type Config struct {
+	Ts float64 // sender clock period, ps
+	Tt float64 // receiver clock period, ps
+	// SenderStations (pS) and ReceiverStations (pT) are the relay-station
+	// counts on each side of the MCFIFO — the registers the GALS router
+	// inserted.
+	SenderStations   int
+	ReceiverStations int
+	FIFODepth        int     // MCFIFO capacity in words (≥ 1)
+	ReceiverPhase    float64 // offset of the receiver clock, in [0, Tt)
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Ts <= 0 || c.Tt <= 0:
+		return fmt.Errorf("mcfifo: non-positive period (Ts=%g, Tt=%g)", c.Ts, c.Tt)
+	case c.SenderStations < 0 || c.ReceiverStations < 0:
+		return errors.New("mcfifo: negative relay-station count")
+	case c.FIFODepth < 1:
+		return fmt.Errorf("mcfifo: FIFO depth %d < 1", c.FIFODepth)
+	case c.ReceiverPhase < 0 || c.ReceiverPhase >= c.Tt:
+		return fmt.Errorf("mcfifo: receiver phase %g outside [0, Tt)", c.ReceiverPhase)
+	}
+	return nil
+}
+
+// ModelLatency returns the first-word latency the router's objective
+// assumes: Ts×(pS+1) + Tt×(pT+1), excluding clock alignment.
+func (c Config) ModelLatency() float64 {
+	return c.Ts*float64(c.SenderStations+1) + c.Tt*float64(c.ReceiverStations+1)
+}
+
+// relayStation models Fig. 8: a main register plus an auxiliary register,
+// so it holds up to two packets. It asserts stop (is full) at two.
+type relayStation struct {
+	buf []Packet // index 0 is the oldest
+}
+
+func (r *relayStation) full() bool  { return len(r.buf) >= 2 }
+func (r *relayStation) empty() bool { return len(r.buf) == 0 }
+
+func (r *relayStation) push(p Packet) {
+	if r.full() {
+		panic("mcfifo: push into full relay station")
+	}
+	r.buf = append(r.buf, p)
+}
+
+func (r *relayStation) pop() Packet {
+	p := r.buf[0]
+	r.buf = r.buf[:copy(r.buf, r.buf[1:])]
+	return p
+}
+
+// Stats summarizes one simulation run.
+type Stats struct {
+	Delivered      int
+	SenderEdges    int
+	ReceiverEdges  int
+	SenderStalls   int // edges on which the sender wanted to launch but could not
+	ReceiverStalls int // edges on which the receiver requested data but none was ready
+	MaxFIFOLevel   int
+	EndTime        float64 // time of the final delivery, ps
+}
+
+// ReadyFunc decides whether the receiver asserts Get Request at its n-th
+// clock edge. A nil policy means "always ready".
+type ReadyFunc func(edge int) bool
+
+// Channel is one sender→receiver mixed-clock link.
+type Channel struct {
+	cfg Config
+}
+
+// New builds a channel after validating cfg.
+func New(cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{cfg: cfg}, nil
+}
+
+// Config returns the channel's configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// maxEdges guards against livelock in buggy policies: simulation aborts
+// after this many edges per packet plus a fixed allowance.
+const maxEdgesPerPacket = 10000
+
+// Simulate pushes n packets through the channel and returns them in
+// delivery order with their timestamps. ready controls receiver
+// backpressure (nil = always ready).
+//
+// Timing convention: the sender's output register launches packet k at the
+// first sender edge where its launch register is free; one hop (launch →
+// RS0 → … → FIFO) completes per sender edge, and one hop (FIFO → RS'0 → …
+// → capture) per receiver edge, matching one clock period per
+// register-to-register segment. When sender and receiver edges coincide the
+// receiver side is evaluated first, freeing FIFO space before the put.
+func (ch *Channel) Simulate(n int, ready ReadyFunc) ([]Packet, Stats, error) {
+	if n < 0 {
+		return nil, Stats{}, errors.New("mcfifo: negative packet count")
+	}
+	cfg := ch.cfg
+	if ready == nil {
+		ready = func(int) bool { return true }
+	}
+
+	sendRS := make([]relayStation, cfg.SenderStations)
+	recvRS := make([]relayStation, cfg.ReceiverStations)
+	var fifo []Packet
+	var launch *Packet
+
+	delivered := make([]Packet, 0, n)
+	var st Stats
+	nextID := 0
+
+	senderEdge, receiverEdge := 0, 0
+	limit := maxEdgesPerPacket * (n + 1)
+
+	senderTick := func(t float64) {
+		// Downstream first: RS[last] → FIFO.
+		if len(sendRS) > 0 {
+			last := &sendRS[len(sendRS)-1]
+			if !last.empty() && len(fifo) < cfg.FIFODepth {
+				p := last.pop()
+				p.EnteredAt = t
+				fifo = append(fifo, p)
+			}
+		} else if launch != nil && len(fifo) < cfg.FIFODepth {
+			p := *launch
+			p.EnteredAt = t
+			fifo = append(fifo, p)
+			launch = nil
+		}
+		if len(fifo) > st.MaxFIFOLevel {
+			st.MaxFIFOLevel = len(fifo)
+		}
+		// Interior shifts.
+		for i := len(sendRS) - 2; i >= 0; i-- {
+			if !sendRS[i].empty() && !sendRS[i+1].full() {
+				sendRS[i+1].push(sendRS[i].pop())
+			}
+		}
+		// Launch register → RS[0].
+		if len(sendRS) > 0 && launch != nil && !sendRS[0].full() {
+			sendRS[0].push(*launch)
+			launch = nil
+		}
+		// Source → launch register.
+		if nextID < n {
+			if launch == nil {
+				p := Packet{ID: nextID, Payload: uint64(nextID) * 0x9e3779b97f4a7c15, LaunchedAt: t}
+				launch = &p
+				nextID++
+			} else {
+				st.SenderStalls++
+			}
+		}
+		st.SenderEdges++
+	}
+
+	receiverTick := func(t float64, edge int) {
+		// Final hop: RS'[last] (or the FIFO when pT = 0) latches into the
+		// receiver's register when Get Request is asserted. Latching IS
+		// reception — the sink register is the last pipeline stage.
+		if ready(edge) {
+			var p Packet
+			got := false
+			if len(recvRS) > 0 {
+				last := &recvRS[len(recvRS)-1]
+				if !last.empty() {
+					p, got = last.pop(), true
+				}
+			} else if len(fifo) > 0 {
+				p = fifo[0]
+				fifo = fifo[:copy(fifo, fifo[1:])]
+				got = true
+			}
+			if got {
+				p.ReceivedAt = t
+				delivered = append(delivered, p)
+				st.Delivered++
+				st.EndTime = t
+			} else {
+				st.ReceiverStalls++
+			}
+		}
+		// Interior shifts.
+		for i := len(recvRS) - 2; i >= 0; i-- {
+			if !recvRS[i].empty() && !recvRS[i+1].full() {
+				recvRS[i+1].push(recvRS[i].pop())
+			}
+		}
+		// FIFO → RS'[0].
+		if len(recvRS) > 0 && len(fifo) > 0 && !recvRS[0].full() {
+			p := fifo[0]
+			fifo = fifo[:copy(fifo, fifo[1:])]
+			recvRS[0].push(p)
+		}
+		st.ReceiverEdges++
+	}
+
+	for st.Delivered < n {
+		if st.SenderEdges+st.ReceiverEdges > limit {
+			return delivered, st, fmt.Errorf("mcfifo: no progress after %d edges (%d/%d delivered)",
+				limit, st.Delivered, n)
+		}
+		ts := float64(senderEdge+1) * cfg.Ts
+		tr := cfg.ReceiverPhase + float64(receiverEdge+1)*cfg.Tt
+		// Coincident edges: receiver first (it frees FIFO space).
+		if tr <= ts+1e-9 {
+			receiverTick(tr, receiverEdge)
+			receiverEdge++
+			if math.Abs(tr-ts) <= 1e-9 {
+				senderTick(ts)
+				senderEdge++
+			}
+		} else {
+			senderTick(ts)
+			senderEdge++
+		}
+	}
+	return delivered, st, nil
+}

@@ -1,0 +1,239 @@
+package mcfifo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustChannel(t *testing.T, cfg Config) *Channel {
+	t.Helper()
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Ts: 300, Tt: 200, SenderStations: 2, ReceiverStations: 3, FIFODepth: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config: %v", err)
+	}
+	bad := []Config{
+		{Ts: 0, Tt: 200, FIFODepth: 2},
+		{Ts: 300, Tt: -1, FIFODepth: 2},
+		{Ts: 300, Tt: 200, SenderStations: -1, FIFODepth: 2},
+		{Ts: 300, Tt: 200, ReceiverStations: -2, FIFODepth: 2},
+		{Ts: 300, Tt: 200, FIFODepth: 0},
+		{Ts: 300, Tt: 200, FIFODepth: 2, ReceiverPhase: 200},
+		{Ts: 300, Tt: 200, FIFODepth: 2, ReceiverPhase: -5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(bad[0]); err == nil {
+		t.Error("New must reject invalid configs")
+	}
+}
+
+func TestModelLatency(t *testing.T) {
+	c := Config{Ts: 200, Tt: 300, SenderStations: 10, ReceiverStations: 1, FIFODepth: 2}
+	if got := c.ModelLatency(); got != 200*11+300*2 {
+		t.Errorf("ModelLatency = %g, want 2800", got)
+	}
+}
+
+func TestFirstWordLatencyMatchesModel(t *testing.T) {
+	cases := []Config{
+		{Ts: 300, Tt: 300, SenderStations: 0, ReceiverStations: 8, FIFODepth: 2},
+		{Ts: 200, Tt: 300, SenderStations: 10, ReceiverStations: 1, FIFODepth: 2},
+		{Ts: 300, Tt: 200, SenderStations: 1, ReceiverStations: 10, FIFODepth: 2},
+		{Ts: 250, Tt: 300, SenderStations: 2, ReceiverStations: 6, FIFODepth: 4},
+		{Ts: 300, Tt: 300, SenderStations: 0, ReceiverStations: 0, FIFODepth: 1},
+		{Ts: 123, Tt: 457, SenderStations: 3, ReceiverStations: 2, FIFODepth: 2},
+	}
+	for _, cfg := range cases {
+		ch := mustChannel(t, cfg)
+		got, _, err := ch.Simulate(1, nil)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		lat := got[0].ReceivedAt - got[0].LaunchedAt
+		model := cfg.ModelLatency()
+		if lat > model+1e-9 || lat <= model-cfg.Tt-1e-9 {
+			t.Errorf("Ts=%g Tt=%g pS=%d pT=%d: latency %g outside (model-Tt, model] = (%g, %g]",
+				cfg.Ts, cfg.Tt, cfg.SenderStations, cfg.ReceiverStations, lat, model-cfg.Tt, model)
+		}
+	}
+}
+
+func TestFirstWordLatencyExactWhenAligned(t *testing.T) {
+	// With equal, in-phase clocks the alignment term is a full Tt, so the
+	// measured latency equals the model exactly.
+	cfg := Config{Ts: 300, Tt: 300, SenderStations: 4, ReceiverStations: 3, FIFODepth: 2}
+	ch := mustChannel(t, cfg)
+	got, _, err := ch.Simulate(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := got[0].ReceivedAt - got[0].LaunchedAt
+	if math.Abs(lat-cfg.ModelLatency()) > 1e-9 {
+		t.Errorf("aligned latency = %g, want exactly %g", lat, cfg.ModelLatency())
+	}
+	// Sender-side traversal alone must be exactly Ts*(pS+1).
+	if hop := got[0].EnteredAt - got[0].LaunchedAt; math.Abs(hop-300*5) > 1e-9 {
+		t.Errorf("FIFO entry after %g, want 1500", hop)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	cfg := Config{Ts: 200, Tt: 300, SenderStations: 3, ReceiverStations: 2, FIFODepth: 2}
+	ch := mustChannel(t, cfg)
+	got, st, err := ch.Simulate(200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 200 || len(got) != 200 {
+		t.Fatalf("delivered %d/200", len(got))
+	}
+	for i, p := range got {
+		if p.ID != i {
+			t.Fatalf("packet %d delivered at position %d: order broken", p.ID, i)
+		}
+		if p.ReceivedAt < p.EnteredAt || p.EnteredAt < p.LaunchedAt {
+			t.Fatalf("packet %d has non-monotone timestamps %+v", i, p)
+		}
+	}
+}
+
+func TestThroughputLimitedBySlowerClock(t *testing.T) {
+	for _, cfg := range []Config{
+		{Ts: 200, Tt: 400, SenderStations: 2, ReceiverStations: 2, FIFODepth: 4}, // receiver-limited
+		{Ts: 400, Tt: 200, SenderStations: 2, ReceiverStations: 2, FIFODepth: 4}, // sender-limited
+		{Ts: 300, Tt: 300, SenderStations: 1, ReceiverStations: 1, FIFODepth: 4},
+	} {
+		ch := mustChannel(t, cfg)
+		const n = 500
+		got, _, err := ch.Simulate(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := math.Max(cfg.Ts, cfg.Tt)
+		// Steady-state spacing between consecutive deliveries = one slow
+		// period: check the tail of the run.
+		span := got[n-1].ReceivedAt - got[100].ReceivedAt
+		perPacket := span / float64(n-1-100)
+		if math.Abs(perPacket-slow) > slow*0.01 {
+			t.Errorf("Ts=%g Tt=%g: steady-state spacing %g, want %g", cfg.Ts, cfg.Tt, perPacket, slow)
+		}
+	}
+}
+
+func TestBackpressureNoLossAndStallsSender(t *testing.T) {
+	cfg := Config{Ts: 200, Tt: 200, SenderStations: 2, ReceiverStations: 2, FIFODepth: 2}
+	ch := mustChannel(t, cfg)
+	// Receiver accepts only every 5th edge: heavy backpressure.
+	got, st, err := ch.Simulate(100, func(edge int) bool { return edge%5 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("lost packets: %d/100", len(got))
+	}
+	for i, p := range got {
+		if p.ID != i {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	if st.SenderStalls == 0 {
+		t.Error("sender must stall under receiver backpressure")
+	}
+	if st.MaxFIFOLevel != cfg.FIFODepth {
+		t.Errorf("FIFO should fill under backpressure: max level %d, depth %d",
+			st.MaxFIFOLevel, cfg.FIFODepth)
+	}
+}
+
+func TestFIFONeverOverflows(t *testing.T) {
+	f := func(depthQ, psQ, ptQ, dutyQ uint8) bool {
+		cfg := Config{
+			Ts: 200, Tt: 300,
+			SenderStations:   int(psQ % 4),
+			ReceiverStations: int(ptQ % 4),
+			FIFODepth:        int(depthQ%4) + 1,
+		}
+		duty := int(dutyQ%7) + 1
+		ch, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		got, st, err := ch.Simulate(60, func(edge int) bool { return edge%duty == 0 })
+		if err != nil || len(got) != 60 {
+			return false
+		}
+		if st.MaxFIFOLevel > cfg.FIFODepth {
+			return false
+		}
+		for i, p := range got {
+			if p.ID != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroPackets(t *testing.T) {
+	ch := mustChannel(t, Config{Ts: 200, Tt: 300, FIFODepth: 1})
+	got, st, err := ch.Simulate(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || st.Delivered != 0 {
+		t.Error("zero-packet run should deliver nothing")
+	}
+	if _, _, err := ch.Simulate(-1, nil); err == nil {
+		t.Error("negative packet count must fail")
+	}
+}
+
+func TestDeadlockedReceiverAborts(t *testing.T) {
+	ch := mustChannel(t, Config{Ts: 200, Tt: 300, FIFODepth: 1})
+	_, _, err := ch.Simulate(1, func(int) bool { return false })
+	if err == nil {
+		t.Error("never-ready receiver must abort with an error, not hang")
+	}
+}
+
+func TestReceiverPhaseShiftsAlignmentOnly(t *testing.T) {
+	base := Config{Ts: 300, Tt: 300, SenderStations: 2, ReceiverStations: 2, FIFODepth: 2}
+	ch0 := mustChannel(t, base)
+	got0, _, err := ch0.Simulate(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := base
+	shifted.ReceiverPhase = 150
+	ch1 := mustChannel(t, shifted)
+	got1, _, err := ch1.Simulate(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := got0[0].ReceivedAt - got0[0].LaunchedAt
+	l1 := got1[0].ReceivedAt - got1[0].LaunchedAt
+	if d := math.Abs(l0 - l1); d > base.Tt {
+		t.Errorf("phase changed latency by %g > Tt", d)
+	}
+	model := base.ModelLatency()
+	for _, l := range []float64{l0, l1} {
+		if l > model+1e-9 || l <= model-base.Tt-1e-9 {
+			t.Errorf("latency %g outside (model-Tt, model]", l)
+		}
+	}
+}

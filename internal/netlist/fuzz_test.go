@@ -1,0 +1,37 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the instance parser: it must never
+// panic, and anything it accepts must survive a save/load round trip.
+func FuzzLoad(f *testing.F) {
+	var seed bytes.Buffer
+	if err := demoInstance().Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"grid":{"w":2,"h":2,"pitch_mm":1},"nets":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := in.Save(&buf); err != nil {
+			t.Fatalf("accepted instance failed to save: %v", err)
+		}
+		again, err := Load(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Grid != in.Grid || len(again.Nets) != len(in.Nets) {
+			t.Fatal("round trip changed the instance")
+		}
+	})
+}

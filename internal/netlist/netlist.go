@@ -1,0 +1,214 @@
+// Package netlist defines the on-disk JSON format for routing instances:
+// grid geometry, blockages, technology selection, and the nets to route.
+// It is the interchange format of the cmd/route tool and lets experiments
+// be described declaratively instead of as flag soups.
+//
+// Example instance:
+//
+//	{
+//	  "name": "demo",
+//	  "grid": {"w": 101, "h": 101, "pitch_mm": 0.25},
+//	  "tech": "congpan-0.07um",
+//	  "obstacles": [[30, 30, 60, 60]],
+//	  "wiring_blockages": [[70, 0, 72, 40]],
+//	  "register_blockages": [[10, 80, 30, 90]],
+//	  "nets": [
+//	    {"name": "n1", "src": [5, 5], "dst": [95, 95], "src_period_ps": 400, "dst_period_ps": 400}
+//	  ]
+//	}
+//
+// Rectangles are [x0, y0, x1, y1] half-open grid coordinates; points are
+// [x, y].
+package netlist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"clockroute/internal/core"
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+	"clockroute/internal/planner"
+	"clockroute/internal/tech"
+)
+
+// GridSpec is the routing grid geometry.
+type GridSpec struct {
+	W       int     `json:"w"`
+	H       int     `json:"h"`
+	PitchMM float64 `json:"pitch_mm"`
+}
+
+// Net is one net to route.
+type Net struct {
+	Name        string  `json:"name"`
+	Src         [2]int  `json:"src"`
+	Dst         [2]int  `json:"dst"`
+	SrcPeriodPS float64 `json:"src_period_ps"`
+	DstPeriodPS float64 `json:"dst_period_ps"`
+}
+
+// Instance is a routing problem set.
+type Instance struct {
+	Name              string   `json:"name"`
+	Grid              GridSpec `json:"grid"`
+	Tech              string   `json:"tech,omitempty"`
+	Obstacles         [][4]int `json:"obstacles,omitempty"`
+	WiringBlockages   [][4]int `json:"wiring_blockages,omitempty"`
+	RegisterBlockages [][4]int `json:"register_blockages,omitempty"`
+	Nets              []Net    `json:"nets"`
+}
+
+// techRegistry maps instance tech names to constructors. The empty name
+// selects the default.
+var techRegistry = map[string]func() *tech.Tech{
+	"":                         tech.CongPan70nm,
+	"congpan-0.07um":           tech.CongPan70nm,
+	"congpan-0.07um-multisize": tech.CongPan70nmMultiSize,
+}
+
+// TechNames returns the known technology names.
+func TechNames() []string {
+	return []string{"congpan-0.07um", "congpan-0.07um-multisize"}
+}
+
+// Load parses an instance from r.
+func Load(r io.Reader) (*Instance, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var inst Instance
+	if err := dec.Decode(&inst); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return &inst, nil
+}
+
+// LoadFile reads and parses an instance file.
+func LoadFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes the instance as indented JSON.
+func (in *Instance) Save(w io.Writer) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// Validate reports the first structural problem with the instance.
+func (in *Instance) Validate() error {
+	if in.Grid.W < 2 || in.Grid.H < 1 {
+		return fmt.Errorf("netlist: grid %dx%d too small", in.Grid.W, in.Grid.H)
+	}
+	if in.Grid.PitchMM <= 0 {
+		return fmt.Errorf("netlist: non-positive pitch %g", in.Grid.PitchMM)
+	}
+	if _, ok := techRegistry[in.Tech]; !ok {
+		return fmt.Errorf("netlist: unknown tech %q (known: %v)", in.Tech, TechNames())
+	}
+	if len(in.Nets) == 0 {
+		return errors.New("netlist: no nets")
+	}
+	bounds := geom.Rect{MaxX: in.Grid.W, MaxY: in.Grid.H}
+	seen := make(map[string]bool, len(in.Nets))
+	for _, n := range in.Nets {
+		if n.Name == "" {
+			return errors.New("netlist: net with empty name")
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("netlist: duplicate net name %q", n.Name)
+		}
+		seen[n.Name] = true
+		for _, p := range [][2]int{n.Src, n.Dst} {
+			if !(geom.Point{X: p[0], Y: p[1]}).In(bounds) {
+				return fmt.Errorf("netlist: net %q endpoint %v off the %dx%d grid",
+					n.Name, p, in.Grid.W, in.Grid.H)
+			}
+		}
+		if n.SrcPeriodPS <= 0 || n.DstPeriodPS <= 0 {
+			return fmt.Errorf("netlist: net %q has non-positive period", n.Name)
+		}
+	}
+	return nil
+}
+
+// BuildGrid materializes the routing grid with every blockage applied.
+func (in *Instance) BuildGrid() (*grid.Grid, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := grid.New(in.Grid.W, in.Grid.H, in.Grid.PitchMM)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range in.Obstacles {
+		g.AddObstacle(geom.R(r[0], r[1], r[2], r[3]))
+	}
+	for _, r := range in.WiringBlockages {
+		g.AddWiringBlockage(geom.R(r[0], r[1], r[2], r[3]))
+	}
+	for _, r := range in.RegisterBlockages {
+		g.AddRegisterBlockage(geom.R(r[0], r[1], r[2], r[3]))
+	}
+	return g, nil
+}
+
+// BuildTech returns the instance's technology.
+func (in *Instance) BuildTech() (*tech.Tech, error) {
+	mk, ok := techRegistry[in.Tech]
+	if !ok {
+		return nil, fmt.Errorf("netlist: unknown tech %q", in.Tech)
+	}
+	return mk(), nil
+}
+
+// NetSpecs converts the instance's nets to planner specs.
+func (in *Instance) NetSpecs() []planner.NetSpec {
+	out := make([]planner.NetSpec, 0, len(in.Nets))
+	for _, n := range in.Nets {
+		out = append(out, planner.NetSpec{
+			Name:        n.Name,
+			Src:         geom.Pt(n.Src[0], n.Src[1]),
+			Dst:         geom.Pt(n.Dst[0], n.Dst[1]),
+			SrcPeriodPS: n.SrcPeriodPS,
+			DstPeriodPS: n.DstPeriodPS,
+		})
+	}
+	return out
+}
+
+// Route loads nothing and routes everything: it materializes the grid and
+// technology and runs the planner over every net. exclusive selects
+// congestion-aware sequential planning.
+func (in *Instance) Route(exclusive bool) (*planner.Plan, error) {
+	g, err := in.BuildGrid()
+	if err != nil {
+		return nil, err
+	}
+	tc, err := in.BuildTech()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := planner.NewFromGrid(g, tc, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if exclusive {
+		return pl.PlanNetsExclusive(in.NetSpecs())
+	}
+	return pl.PlanNets(in.NetSpecs())
+}

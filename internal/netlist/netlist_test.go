@@ -1,0 +1,141 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clockroute/internal/geom"
+)
+
+func demoInstance() *Instance {
+	return &Instance{
+		Name: "demo",
+		Grid: GridSpec{W: 41, H: 11, PitchMM: 0.5},
+		Tech: "congpan-0.07um",
+		Obstacles: [][4]int{
+			{12, 2, 28, 9},
+		},
+		WiringBlockages:   [][4]int{{34, 0, 36, 5}},
+		RegisterBlockages: [][4]int{{2, 8, 8, 11}},
+		Nets: []Net{
+			{Name: "same", Src: [2]int{0, 5}, Dst: [2]int{40, 5}, SrcPeriodPS: 400, DstPeriodPS: 400},
+			{Name: "cross", Src: [2]int{0, 0}, Dst: [2]int{40, 10}, SrcPeriodPS: 500, DstPeriodPS: 300},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	in := demoInstance()
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Grid != in.Grid || len(out.Nets) != len(in.Nets) {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	if out.Nets[1] != in.Nets[1] {
+		t.Errorf("net mismatch: %+v vs %+v", out.Nets[1], in.Nets[1])
+	}
+	if len(out.Obstacles) != 1 || out.Obstacles[0] != in.Obstacles[0] {
+		t.Errorf("obstacle mismatch: %+v", out.Obstacles)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"name":"x","grid":{"w":5,"h":5,"pitch_mm":1},"bogus":1,"nets":[{"name":"n","src":[0,0],"dst":[4,4],"src_period_ps":300,"dst_period_ps":300}]}`))
+	if err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Instance)
+		frag string
+	}{
+		{"tiny grid", func(i *Instance) { i.Grid.W = 1 }, "too small"},
+		{"pitch", func(i *Instance) { i.Grid.PitchMM = 0 }, "pitch"},
+		{"tech", func(i *Instance) { i.Tech = "sky130" }, "unknown tech"},
+		{"no nets", func(i *Instance) { i.Nets = nil }, "no nets"},
+		{"anon net", func(i *Instance) { i.Nets[0].Name = "" }, "empty name"},
+		{"dup net", func(i *Instance) { i.Nets[1].Name = i.Nets[0].Name }, "duplicate"},
+		{"off grid", func(i *Instance) { i.Nets[0].Dst = [2]int{99, 0} }, "off the"},
+		{"bad period", func(i *Instance) { i.Nets[0].SrcPeriodPS = 0 }, "non-positive period"},
+	}
+	for _, c := range cases {
+		in := demoInstance()
+		c.mut(in)
+		err := in.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestBuildGridAppliesBlockages(t *testing.T) {
+	in := demoInstance()
+	g, err := in.BuildGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Insertable(g.ID(geom.Pt(20, 5))) {
+		t.Error("obstacle not applied")
+	}
+	if g.Degree(g.ID(geom.Pt(35, 2))) != 0 {
+		t.Error("wiring blockage not applied")
+	}
+	if g.RegisterInsertable(g.ID(geom.Pt(3, 9))) {
+		t.Error("register blockage not applied")
+	}
+}
+
+func TestBuildTechRegistry(t *testing.T) {
+	in := demoInstance()
+	tc, err := in.BuildTech()
+	if err != nil || tc.Name != "congpan-0.07um" {
+		t.Errorf("tech = %v, %v", tc, err)
+	}
+	in.Tech = "congpan-0.07um-multisize"
+	tc, err = in.BuildTech()
+	if err != nil || len(tc.Buffers) != 3 {
+		t.Errorf("multisize tech = %v, %v", tc, err)
+	}
+	in.Tech = ""
+	if _, err := in.BuildTech(); err != nil {
+		t.Errorf("default tech: %v", err)
+	}
+	if len(TechNames()) != 2 {
+		t.Error("TechNames incomplete")
+	}
+}
+
+func TestRouteInstance(t *testing.T) {
+	in := demoInstance()
+	plan, err := in.Route(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Nets) != 2 {
+		t.Fatalf("routed %d nets", len(plan.Nets))
+	}
+	if len(plan.Failed()) != 0 {
+		t.Fatalf("failures: %+v", plan.Failed())
+	}
+	if plan.Nets[0].Mode != "rbp" || plan.Nets[1].Mode != "gals" {
+		t.Errorf("modes = %v, %v", plan.Nets[0].Mode, plan.Nets[1].Mode)
+	}
+
+	excl, err := in.Route(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if excl.TotalWireMM() < plan.TotalWireMM()-1e-9 {
+		t.Error("exclusive routing should not shorten total wire")
+	}
+}

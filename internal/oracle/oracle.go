@@ -1,0 +1,213 @@
+// Package oracle solves the single-clock routing problem exactly on
+// one-dimensional (line) instances with a polynomial dynamic program over
+// Pareto-pruned states. The routing topology is fixed (a straight wire), so
+// only the labeling is optimized — which makes the oracle an independent
+// cross-check for RBP on W×1 grids: both must report the same minimum
+// register count and, at infinite period, the same minimum delay.
+//
+// Unlike the grid routers, the oracle never enumerates paths or uses
+// wavefront scheduling, so agreement between the two is strong evidence of
+// correctness for both.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"clockroute/internal/elmore"
+	"clockroute/internal/tech"
+)
+
+// Line describes a 1-D instance: a wire of Edges grid edges at PitchMM.
+// BufOK[i] / RegOK[i] report whether position i (0..Edges) accepts a buffer
+// or a register; positions 0 and Edges are the clocked source and sink and
+// their flags are ignored. Nil masks mean "allowed everywhere".
+type Line struct {
+	Edges   int
+	PitchMM float64
+	BufOK   []bool
+	RegOK   []bool
+}
+
+func (l Line) validate() error {
+	if l.Edges < 1 {
+		return fmt.Errorf("oracle: need at least 1 edge, got %d", l.Edges)
+	}
+	if l.PitchMM <= 0 {
+		return fmt.Errorf("oracle: non-positive pitch %g", l.PitchMM)
+	}
+	if l.BufOK != nil && len(l.BufOK) != l.Edges+1 {
+		return fmt.Errorf("oracle: BufOK has %d entries, want %d", len(l.BufOK), l.Edges+1)
+	}
+	if l.RegOK != nil && len(l.RegOK) != l.Edges+1 {
+		return fmt.Errorf("oracle: RegOK has %d entries, want %d", len(l.RegOK), l.Edges+1)
+	}
+	return nil
+}
+
+func (l Line) bufOK(i int) bool { return l.BufOK == nil || l.BufOK[i] }
+func (l Line) regOK(i int) bool { return l.RegOK == nil || l.RegOK[i] }
+
+// state is a backward partial solution: regs registers used so far, with
+// downstream capacitance c and delay d at the current position.
+type state struct {
+	regs int
+	c, d float64
+}
+
+// add keeps states on the three-dimensional Pareto frontier.
+func add(states []state, s state) []state {
+	for _, o := range states {
+		if o.regs <= s.regs && o.c <= s.c && o.d <= s.d {
+			return states
+		}
+	}
+	out := states[:0]
+	for _, o := range states {
+		if !(s.regs <= o.regs && s.c <= o.c && s.d <= o.d) {
+			out = append(out, o)
+		}
+	}
+	return append(out, s)
+}
+
+// Result reports the oracle's optimum.
+type Result struct {
+	Registers int     // minimum internal registers
+	Latency   float64 // T × (Registers+1); for MinDelay, the path delay
+	Delay     float64 // delay of the segment adjacent to the source
+}
+
+// MinRegisters returns the minimum number of registers needed to route the
+// line under clock period T, or an error wrapping infeasibility.
+func MinRegisters(l Line, tc *tech.Tech, T float64) (Result, error) {
+	if err := l.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := tc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if T <= 0 {
+		return Result{}, fmt.Errorf("oracle: non-positive period %g", T)
+	}
+	m := elmore.MustNewModel(tc, l.PitchMM)
+	reg := tc.Register
+
+	states := []state{{c: reg.C, d: reg.Setup}}
+	for pos := l.Edges - 1; pos >= 0; pos-- {
+		var next []state
+		for _, s := range states {
+			c2, d2 := m.AddEdge(s.c, s.d)
+			if d2 <= T {
+				next = add(next, state{regs: s.regs, c: c2, d: d2})
+			}
+		}
+		if pos != 0 {
+			base := append([]state(nil), next...)
+			for _, s := range base {
+				if l.bufOK(pos) {
+					for _, b := range tc.Buffers {
+						c2, d2 := m.AddGate(b, s.c, s.d)
+						if d2 <= T {
+							next = add(next, state{regs: s.regs, c: c2, d: d2})
+						}
+					}
+				}
+				if l.bufOK(pos) && l.regOK(pos) && m.DriveInto(reg, s.c, s.d) <= T {
+					next = add(next, state{regs: s.regs + 1, c: reg.C, d: reg.Setup})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return Result{}, fmt.Errorf("oracle: infeasible at period %g ps", T)
+		}
+		states = next
+	}
+
+	best := Result{Registers: -1}
+	for _, s := range states {
+		if d := m.DriveInto(reg, s.c, s.d); d <= T {
+			if best.Registers == -1 || s.regs < best.Registers ||
+				(s.regs == best.Registers && d < best.Delay) {
+				best = Result{Registers: s.regs, Latency: T * float64(s.regs+1), Delay: d}
+			}
+		}
+	}
+	if best.Registers == -1 {
+		return Result{}, fmt.Errorf("oracle: infeasible at period %g ps", T)
+	}
+	return best, nil
+}
+
+// MinDelay returns the minimum register-free buffered delay of the line —
+// the FastPath optimum restricted to the straight topology.
+func MinDelay(l Line, tc *tech.Tech) (float64, error) {
+	if err := l.validate(); err != nil {
+		return 0, err
+	}
+	if err := tc.Validate(); err != nil {
+		return 0, err
+	}
+	m := elmore.MustNewModel(tc, l.PitchMM)
+	reg := tc.Register
+
+	states := []state{{c: reg.C, d: reg.Setup}}
+	for pos := l.Edges - 1; pos >= 0; pos-- {
+		var next []state
+		for _, s := range states {
+			c2, d2 := m.AddEdge(s.c, s.d)
+			next = add(next, state{c: c2, d: d2})
+		}
+		if pos != 0 && l.bufOK(pos) {
+			base := append([]state(nil), next...)
+			for _, s := range base {
+				for _, b := range tc.Buffers {
+					c2, d2 := m.AddGate(b, s.c, s.d)
+					next = add(next, state{c: c2, d: d2})
+				}
+			}
+		}
+		states = next
+	}
+	best := math.Inf(1)
+	for _, s := range states {
+		if d := m.DriveInto(reg, s.c, s.d); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// FastestPeriodFor returns (by bisection) the smallest clock period, within
+// tolerance tol ps, at which the line is routable with at most maxRegs
+// registers. This mirrors the paper's footnote-1 methodology of choosing
+// "the fastest clock period required to achieve the given number of
+// registers".
+func FastestPeriodFor(l Line, tc *tech.Tech, maxRegs int, tol float64) (float64, error) {
+	if err := l.validate(); err != nil {
+		return 0, err
+	}
+	if maxRegs < 0 {
+		return 0, fmt.Errorf("oracle: negative register budget %d", maxRegs)
+	}
+	feasible := func(T float64) bool {
+		r, err := MinRegisters(l, tc, T)
+		return err == nil && r.Registers <= maxRegs
+	}
+	lo, hi := tol, 1.0
+	for !feasible(hi) {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("oracle: no feasible period below 1e12 ps")
+		}
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,183 @@
+package oracle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clockroute/internal/elmore"
+	"clockroute/internal/tech"
+)
+
+func TestLineValidation(t *testing.T) {
+	tc := tech.CongPan70nm()
+	if _, err := MinRegisters(Line{Edges: 0, PitchMM: 0.5}, tc, 100); err == nil {
+		t.Error("zero edges should fail")
+	}
+	if _, err := MinRegisters(Line{Edges: 5, PitchMM: 0}, tc, 100); err == nil {
+		t.Error("zero pitch should fail")
+	}
+	if _, err := MinRegisters(Line{Edges: 5, PitchMM: 0.5, BufOK: make([]bool, 3)}, tc, 100); err == nil {
+		t.Error("short BufOK should fail")
+	}
+	if _, err := MinRegisters(Line{Edges: 5, PitchMM: 0.5, RegOK: make([]bool, 3)}, tc, 100); err == nil {
+		t.Error("short RegOK should fail")
+	}
+	if _, err := MinRegisters(Line{Edges: 5, PitchMM: 0.5}, tc, -1); err == nil {
+		t.Error("negative period should fail")
+	}
+}
+
+func TestMinRegistersMatchesReachFormula(t *testing.T) {
+	tc := tech.CongPan70nm()
+	m := elmore.MustNewModel(tc, 0.5)
+	l := Line{Edges: 60, PitchMM: 0.5}
+	for _, T := range []float64{120, 200, 300, 500, 900, 2000} {
+		n := m.MaxBufferedSegmentEdges(T)
+		if n == 0 {
+			if _, err := MinRegisters(l, tc, T); err == nil {
+				t.Errorf("T=%g: expected infeasible", T)
+			}
+			continue
+		}
+		want := (l.Edges+n-1)/n - 1
+		res, err := MinRegisters(l, tc, T)
+		if err != nil {
+			t.Fatalf("T=%g: %v", T, err)
+		}
+		if res.Registers != want {
+			t.Errorf("T=%g: registers = %d, reach formula = %d", T, res.Registers, want)
+		}
+		if res.Latency != T*float64(want+1) {
+			t.Errorf("T=%g: latency = %g", T, res.Latency)
+		}
+		if res.Delay > T {
+			t.Errorf("T=%g: reported source delay %g exceeds period", T, res.Delay)
+		}
+	}
+}
+
+func TestMinRegistersMonotoneInPeriod(t *testing.T) {
+	tc := tech.CongPan70nm()
+	l := Line{Edges: 40, PitchMM: 0.5}
+	prev := math.MaxInt32
+	for _, T := range []float64{80, 120, 200, 400, 800, 1600} {
+		res, err := MinRegisters(l, tc, T)
+		if err != nil {
+			continue
+		}
+		if res.Registers > prev {
+			t.Errorf("T=%g: register count grew with larger period", T)
+		}
+		prev = res.Registers
+	}
+}
+
+func TestRegisterBlockageForcesMoreRegistersOrInfeasible(t *testing.T) {
+	tc := tech.CongPan70nm()
+	open := Line{Edges: 30, PitchMM: 0.5}
+	T := 200.0
+	base, err := MinRegisters(open, tc, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forbid registers everywhere except one awkward spot.
+	regOK := make([]bool, 31)
+	regOK[3] = true
+	blocked := Line{Edges: 30, PitchMM: 0.5, RegOK: regOK}
+	res, err := MinRegisters(blocked, tc, T)
+	if err == nil && res.Registers < base.Registers {
+		t.Errorf("restricting register sites cannot reduce registers: %d < %d", res.Registers, base.Registers)
+	}
+}
+
+func TestBufferBlockageDegradesDelay(t *testing.T) {
+	tc := tech.CongPan70nm()
+	open := Line{Edges: 40, PitchMM: 0.5}
+	dOpen, err := MinDelay(open, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noBuf := Line{Edges: 40, PitchMM: 0.5, BufOK: make([]bool, 41)} // all false
+	dBlocked, err := MinDelay(noBuf, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dBlocked <= dOpen {
+		t.Errorf("unbuffered delay %g should exceed buffered %g", dBlocked, dOpen)
+	}
+	// The unbuffered delay must equal the closed-form single stage.
+	m := elmore.MustNewModel(tc, 0.5)
+	want := tc.Register.Setup + m.StageDelay(tc.Register, 40, tc.Register.C)
+	if math.Abs(dBlocked-want) > 1e-6 {
+		t.Errorf("unbuffered delay %g != closed form %g", dBlocked, want)
+	}
+}
+
+func TestMinDelayMatchesOptimalSpacingBound(t *testing.T) {
+	tc := tech.CongPan70nm()
+	// Long line: the achieved per-mm delay must be within a few percent of
+	// the continuous lower bound (grid quantization costs a little).
+	l := Line{Edges: 200, PitchMM: 0.25} // 50 mm
+	d, err := MinDelay(l, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := elmore.MustNewModel(tc, 0.25)
+	bound := m.Tech().MinDelayPerMM(tc.Buffers[0]) * 50
+	if d < bound*0.95 {
+		t.Errorf("delay %g beats the continuous lower bound %g", d, bound)
+	}
+	if d > bound*1.10 {
+		t.Errorf("delay %g more than 10%% above the bound %g", d, bound)
+	}
+}
+
+func TestFastestPeriodFor(t *testing.T) {
+	tc := tech.CongPan70nm()
+	l := Line{Edges: 40, PitchMM: 0.5}
+	for _, budget := range []int{0, 1, 2, 5} {
+		T, err := FastestPeriodFor(l, tc, budget, 0.5)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		// At T the budget must hold...
+		res, err := MinRegisters(l, tc, T)
+		if err != nil || res.Registers > budget {
+			t.Errorf("budget %d: at T=%g got regs=%d err=%v", budget, T, res.Registers, err)
+		}
+		// ...and just below T it must not.
+		if res2, err2 := MinRegisters(l, tc, T-1.0); err2 == nil && res2.Registers <= budget {
+			t.Errorf("budget %d: T=%g is not minimal (T-1 also works)", budget, T)
+		}
+	}
+	if _, err := FastestPeriodFor(l, tc, -1, 0.5); err == nil {
+		t.Error("negative budget must fail")
+	}
+}
+
+func TestFastestPeriodMonotoneInBudget(t *testing.T) {
+	tc := tech.CongPan70nm()
+	l := Line{Edges: 60, PitchMM: 0.25}
+	prev := math.Inf(1)
+	for budget := 0; budget <= 8; budget++ {
+		T, err := FastestPeriodFor(l, tc, budget, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if T > prev+0.5 {
+			t.Errorf("budget %d: fastest period %g grew from %g", budget, T, prev)
+		}
+		prev = T
+	}
+}
+
+func TestInfeasibleErrorMentionsPeriod(t *testing.T) {
+	tc := tech.CongPan70nm()
+	l := Line{Edges: 10, PitchMM: 2.0}
+	_, err := MinRegisters(l, tc, 30)
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package planner implements the interconnect-planning use case of
+// Section I: given a floorplan and a set of block-to-block nets, it routes
+// every net with the appropriate algorithm (FastPath for delay estimation,
+// RBP within one clock domain, GALS across domains), and produces the
+// cycle-latency annotation report that feeds back into the RTL — "the
+// RTL-level design description is updated to reflect the added latency
+// associated with multicycle routing".
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"clockroute/internal/candidate"
+	"clockroute/internal/core"
+	"clockroute/internal/elmore"
+	"clockroute/internal/floorplan"
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+	"clockroute/internal/route"
+	"clockroute/internal/tech"
+)
+
+// Mode identifies which algorithm routed a net.
+type Mode string
+
+// Routing modes.
+const (
+	ModeRBP  Mode = "rbp"  // single-clock registered routing
+	ModeGALS Mode = "gals" // cross-domain routing through an MCFIFO
+)
+
+// NetSpec requests one point-to-point route.
+type NetSpec struct {
+	Name string
+	Src  geom.Point
+	Dst  geom.Point
+	// SrcPeriodPS / DstPeriodPS are the clock periods at the two ends. When
+	// equal, the net is routed with RBP at that period; when different,
+	// with GALS.
+	SrcPeriodPS float64
+	DstPeriodPS float64
+	// WireWidths, when non-empty, routes the net once per wire width
+	// (multiples of the nominal width, see tech.WithWireWidth) and keeps
+	// the best result — lowest latency, then fewest registers, then the
+	// narrowest wire. Empty means the nominal width only.
+	WireWidths []float64
+}
+
+// Endpoint describes a block port for NetBetween.
+type Endpoint struct {
+	Block string
+	Side  floorplan.Side
+}
+
+// NetBetween builds a NetSpec connecting two block ports on fp. Block clock
+// periods are taken from the floorplan; defaultPeriod substitutes for
+// blocks clocked by the chip clock (PeriodPS == 0).
+func NetBetween(fp *floorplan.Floorplan, name string, from, to Endpoint, defaultPeriod float64) (NetSpec, error) {
+	if defaultPeriod <= 0 {
+		return NetSpec{}, fmt.Errorf("planner: non-positive default period %g", defaultPeriod)
+	}
+	src, err := fp.Pin(from.Block, from.Side)
+	if err != nil {
+		return NetSpec{}, err
+	}
+	dst, err := fp.Pin(to.Block, to.Side)
+	if err != nil {
+		return NetSpec{}, err
+	}
+	period := func(blockName string) float64 {
+		b, _ := fp.Block(blockName)
+		if b.PeriodPS > 0 {
+			return b.PeriodPS
+		}
+		return defaultPeriod
+	}
+	return NetSpec{
+		Name: name, Src: src, Dst: dst,
+		SrcPeriodPS: period(from.Block),
+		DstPeriodPS: period(to.Block),
+	}, nil
+}
+
+// NetResult is the planning outcome for one net.
+type NetResult struct {
+	Spec NetSpec
+	Mode Mode
+	// Err is non-nil when the net could not be routed; the other fields are
+	// then zero.
+	Err error
+
+	Path      *route.Path
+	LatencyPS float64
+	// Cycles is the latency the RTL must absorb: source-clock cycles for
+	// RBP nets; for GALS nets, source cycles before the FIFO plus
+	// destination cycles after (reported separately).
+	SrcCycles int
+	DstCycles int
+	Registers int
+	Buffers   int
+	WireMM    float64
+	Configs   int
+	// WireWidth is the chosen wire width multiple (1 = nominal).
+	WireWidth float64
+}
+
+// Plan is the set of routed nets over one floorplan.
+type Plan struct {
+	Floorplan *floorplan.Floorplan
+	Grid      *grid.Grid
+	Model     *elmore.Model
+	Nets      []NetResult
+}
+
+// Planner routes nets over a fixed floorplan and technology.
+type Planner struct {
+	fp   *floorplan.Floorplan
+	g    *grid.Grid
+	m    *elmore.Model
+	tc   *tech.Tech
+	opts core.Options
+
+	// widthModels caches delay models for non-nominal wire widths
+	// (NetSpec.WireWidths).
+	widthModels map[float64]*elmore.Model
+}
+
+// New builds a planner. The floorplan's blockages are materialized once and
+// shared by every net (each net is routed independently, as in the paper's
+// single-net formulation).
+func New(fp *floorplan.Floorplan, tc *tech.Tech, opts core.Options) (*Planner, error) {
+	g, err := fp.BuildGrid()
+	if err != nil {
+		return nil, err
+	}
+	m, err := elmore.NewModel(tc, fp.PitchMM)
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{fp: fp, g: g, m: m, tc: tc, opts: opts}, nil
+}
+
+// NewFromGrid builds a planner over an already-materialized grid (e.g. one
+// loaded from a netlist instance file) instead of a floorplan. NetBetween
+// is unavailable without a floorplan; use explicit NetSpec coordinates.
+func NewFromGrid(g *grid.Grid, tc *tech.Tech, opts core.Options) (*Planner, error) {
+	if g == nil {
+		return nil, errors.New("planner: nil grid")
+	}
+	m, err := elmore.NewModel(tc, g.PitchMM())
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{g: g, m: m, tc: tc, opts: opts}, nil
+}
+
+// Grid exposes the materialized routing grid (read-only by convention).
+func (pl *Planner) Grid() *grid.Grid { return pl.g }
+
+// Model exposes the bound delay model.
+func (pl *Planner) Model() *elmore.Model { return pl.m }
+
+// modelForWidth returns (and caches) the delay model at the given wire
+// width multiple; width 1 is the planner's nominal model.
+func (pl *Planner) modelForWidth(width float64) (*elmore.Model, error) {
+	if width == 1 {
+		return pl.m, nil
+	}
+	if m, ok := pl.widthModels[width]; ok {
+		return m, nil
+	}
+	wtech, err := pl.tc.WithWireWidth(width)
+	if err != nil {
+		return nil, err
+	}
+	m, err := elmore.NewModel(wtech, pl.g.PitchMM())
+	if err != nil {
+		return nil, err
+	}
+	if pl.widthModels == nil {
+		pl.widthModels = make(map[float64]*elmore.Model)
+	}
+	pl.widthModels[width] = m
+	return m, nil
+}
+
+// RouteNet routes a single net, choosing RBP or GALS from the endpoint
+// periods, and independently verifies the result before reporting it. When
+// the spec lists wire widths, every width is tried and the best kept.
+func (pl *Planner) RouteNet(spec NetSpec) NetResult {
+	widths := spec.WireWidths
+	if len(widths) == 0 {
+		widths = []float64{1}
+	}
+	best := NetResult{Spec: spec, Err: fmt.Errorf("planner: net %q: no widths", spec.Name)}
+	for _, w := range widths {
+		res := pl.routeNetAtWidth(spec, w)
+		if res.Err != nil {
+			if best.Err != nil {
+				best = res
+			}
+			continue
+		}
+		if best.Err != nil ||
+			res.LatencyPS < best.LatencyPS ||
+			(res.LatencyPS == best.LatencyPS && res.Registers < best.Registers) ||
+			(res.LatencyPS == best.LatencyPS && res.Registers == best.Registers && res.WireWidth < best.WireWidth) {
+			best = res
+		}
+	}
+	return best
+}
+
+func (pl *Planner) routeNetAtWidth(spec NetSpec, width float64) NetResult {
+	out := NetResult{Spec: spec, WireWidth: width}
+	if spec.SrcPeriodPS <= 0 || spec.DstPeriodPS <= 0 {
+		out.Err = fmt.Errorf("planner: net %q: non-positive period", spec.Name)
+		return out
+	}
+	if !pl.g.InBounds(spec.Src) || !pl.g.InBounds(spec.Dst) {
+		out.Err = fmt.Errorf("planner: net %q: endpoint off the die", spec.Name)
+		return out
+	}
+	m, err := pl.modelForWidth(width)
+	if err != nil {
+		out.Err = fmt.Errorf("planner: net %q: %w", spec.Name, err)
+		return out
+	}
+	prob, err := core.NewProblem(pl.g, m, pl.g.ID(spec.Src), pl.g.ID(spec.Dst))
+	if err != nil {
+		out.Err = fmt.Errorf("planner: net %q: %w", spec.Name, err)
+		return out
+	}
+
+	var res *core.Result
+	if spec.SrcPeriodPS == spec.DstPeriodPS {
+		out.Mode = ModeRBP
+		res, err = core.RBP(prob, spec.SrcPeriodPS, pl.opts)
+		if err == nil {
+			_, err = route.VerifySingleClock(res.Path, pl.g, m, spec.SrcPeriodPS)
+		}
+	} else {
+		out.Mode = ModeGALS
+		res, err = core.GALS(prob, spec.SrcPeriodPS, spec.DstPeriodPS, pl.opts)
+		if err == nil {
+			_, err = route.VerifyMultiClock(res.Path, pl.g, m, spec.SrcPeriodPS, spec.DstPeriodPS)
+		}
+	}
+	if err != nil {
+		out.Err = fmt.Errorf("planner: net %q: %w", spec.Name, err)
+		return out
+	}
+
+	out.Path = res.Path
+	out.LatencyPS = res.Latency
+	out.Registers = res.Registers
+	out.Buffers = res.Buffers
+	out.WireMM = float64(res.Path.Len()) * pl.g.PitchMM()
+	out.Configs = res.Stats.Configs
+	if out.Mode == ModeRBP {
+		out.SrcCycles = res.Registers + 1
+		out.DstCycles = 0
+	} else {
+		out.SrcCycles = res.RegS + 1
+		out.DstCycles = res.RegT + 1
+	}
+	return out
+}
+
+// PlanNets routes every net and returns the combined plan. Per-net failures
+// are recorded in the results, not returned: planning a chip with one
+// unroutable net still reports the other nets. Nets are routed
+// independently on the shared grid (the paper's single-net formulation);
+// see PlanNetsExclusive for congestion-aware planning.
+func (pl *Planner) PlanNets(specs []NetSpec) (*Plan, error) {
+	return pl.plan(specs, false)
+}
+
+// PlanNetsExclusive routes the nets in order on a private copy of the grid,
+// reserving each successful route's resources before the next net runs:
+// its grid edges become unavailable (the tracks are taken) and its element
+// sites become obstacles. Later nets therefore detour around earlier ones —
+// a simple sequential congestion model. Net ordering matters; callers
+// typically sort by criticality.
+func (pl *Planner) PlanNetsExclusive(specs []NetSpec) (*Plan, error) {
+	return pl.plan(specs, true)
+}
+
+func (pl *Planner) plan(specs []NetSpec, exclusive bool) (*Plan, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("planner: no nets")
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if s.Name == "" {
+			return nil, errors.New("planner: net with empty name")
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("planner: duplicate net name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	work := pl
+	if exclusive {
+		work = &Planner{fp: pl.fp, g: pl.g.Clone(), m: pl.m, opts: pl.opts}
+	}
+	plan := &Plan{Floorplan: work.fp, Grid: work.g, Model: work.m}
+	for _, s := range specs {
+		res := work.RouteNet(s)
+		plan.Nets = append(plan.Nets, res)
+		if exclusive && res.Err == nil {
+			reserve(work.g, res.Path)
+		}
+	}
+	return plan, nil
+}
+
+// reserve removes a routed path's resources from g: every edge the path
+// uses is cut, and every node carrying an inserted element (or an endpoint
+// register) becomes an obstacle.
+func reserve(g *grid.Grid, p *route.Path) {
+	for i := 1; i < len(p.Nodes); i++ {
+		u, v := p.Nodes[i-1], p.Nodes[i]
+		for d := grid.East; d <= grid.South; d++ {
+			if nb, ok := g.Neighbor(u, d); ok && nb == v {
+				g.CutEdge(u, d)
+			}
+		}
+	}
+	for i, gate := range p.Gates {
+		if gate != candidate.GateNone {
+			pt := g.At(p.Nodes[i])
+			g.AddObstacle(geom.Rect{MinX: pt.X, MinY: pt.Y, MaxX: pt.X + 1, MaxY: pt.Y + 1})
+		}
+	}
+}
+
+// Failed returns the nets that could not be routed.
+func (p *Plan) Failed() []NetResult {
+	var out []NetResult
+	for _, n := range p.Nets {
+		if n.Err != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalWireMM sums the routed wirelength of all successful nets.
+func (p *Plan) TotalWireMM() float64 {
+	sum := 0.0
+	for _, n := range p.Nets {
+		if n.Err == nil {
+			sum += n.WireMM
+		}
+	}
+	return sum
+}
+
+// WriteReport renders the latency annotation table: one row per net with
+// the cycle counts the RTL description must absorb. Rows are sorted by
+// descending latency so the communication bottlenecks lead.
+func (p *Plan) WriteReport(w io.Writer) error {
+	nets := append([]NetResult(nil), p.Nets...)
+	sort.SliceStable(nets, func(i, j int) bool { return nets[i].LatencyPS > nets[j].LatencyPS })
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NET\tMODE\tSRC\tDST\tLATENCY(ps)\tSRC-CYCLES\tDST-CYCLES\tREGS\tBUFS\tWIRE(mm)\tSTATUS")
+	for _, n := range nets {
+		if n.Err != nil {
+			fmt.Fprintf(tw, "%s\t%s\t%v\t%v\t-\t-\t-\t-\t-\t-\tFAILED: %v\n",
+				n.Spec.Name, n.Mode, n.Spec.Src, n.Spec.Dst, n.Err)
+			continue
+		}
+		dst := "-"
+		if n.Mode == ModeGALS {
+			dst = fmt.Sprintf("%d", n.DstCycles)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%v\t%.0f\t%d\t%s\t%d\t%d\t%.2f\tok\n",
+			n.Spec.Name, n.Mode, n.Spec.Src, n.Spec.Dst, n.LatencyPS,
+			n.SrcCycles, dst, n.Registers, n.Buffers, n.WireMM)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,109 @@
+// Package pqueue provides the priority queues used by the fast-path family
+// of algorithms: a float64-keyed binary min-heap, and an ExtractAllMin
+// helper that pulls a whole equal-key wavefront (used by GALS's Q*).
+package pqueue
+
+// Heap is a binary min-heap of values keyed by float64 priorities.
+// The zero value is an empty heap ready to use.
+type Heap[T any] struct {
+	keys []float64
+	vals []T
+}
+
+// Len returns the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.keys) }
+
+// Reset empties the heap, keeping the allocated storage.
+func (h *Heap[T]) Reset() {
+	h.keys = h.keys[:0]
+	h.vals = h.vals[:0]
+}
+
+// Push inserts v with priority key.
+func (h *Heap[T]) Push(key float64, v T) {
+	h.keys = append(h.keys, key)
+	h.vals = append(h.vals, v)
+	h.up(len(h.keys) - 1)
+}
+
+// Peek returns the minimum-key item without removing it.
+func (h *Heap[T]) Peek() (key float64, v T, ok bool) {
+	if len(h.keys) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	return h.keys[0], h.vals[0], true
+}
+
+// Pop removes and returns the minimum-key item.
+func (h *Heap[T]) Pop() (key float64, v T, ok bool) {
+	if len(h.keys) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	key, v = h.keys[0], h.vals[0]
+	last := len(h.keys) - 1
+	h.keys[0], h.vals[0] = h.keys[last], h.vals[last]
+	var zero T
+	h.vals[last] = zero // release reference for GC
+	h.keys, h.vals = h.keys[:last], h.vals[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return key, v, true
+}
+
+// ExtractAllMin removes every item whose key is within eps of the minimum
+// key and appends them to dst, returning the extended slice and the shared
+// key. This is the GALS wavefront operation Q = ExtractAllMin(Q*).
+func (h *Heap[T]) ExtractAllMin(dst []T, eps float64) ([]T, float64) {
+	minKey, _, ok := h.Peek()
+	if !ok {
+		return dst, 0
+	}
+	for {
+		k, v, ok := h.Peek()
+		if !ok || k > minKey+eps {
+			break
+		}
+		h.Pop()
+		dst = append(dst, v)
+		_ = k
+	}
+	return dst, minKey
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.keys[p] <= h.keys[i] {
+			return
+		}
+		h.swap(p, i)
+		i = p
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.keys)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.keys[l] < h.keys[small] {
+			small = l
+		}
+		if r < n && h.keys[r] < h.keys[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
+}

@@ -1,0 +1,173 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	var h Heap[string]
+	if h.Len() != 0 {
+		t.Error("empty heap Len != 0")
+	}
+	if _, _, ok := h.Pop(); ok {
+		t.Error("Pop on empty heap should report !ok")
+	}
+	if _, _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap should report !ok")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	var h Heap[int]
+	keys := []float64{5, 3, 9, 1, 7, 3, 2}
+	for i, k := range keys {
+		h.Push(k, i)
+	}
+	if h.Len() != len(keys) {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		k, _, ok := h.Pop()
+		if !ok {
+			t.Fatal("Pop failed with items left")
+		}
+		if k < prev {
+			t.Fatalf("Pop out of order: %g after %g", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	var h Heap[int]
+	h.Push(4, 40)
+	h.Push(2, 20)
+	h.Push(6, 60)
+	pk, pv, _ := h.Peek()
+	k, v, _ := h.Pop()
+	if pk != k || pv != v {
+		t.Errorf("Peek (%g,%d) != Pop (%g,%d)", pk, pv, k, v)
+	}
+	if k != 2 || v != 20 {
+		t.Errorf("min = (%g,%d), want (2,20)", k, v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 10; i++ {
+		h.Push(float64(i), i)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Error("Reset should empty the heap")
+	}
+	h.Push(1, 1)
+	if k, v, ok := h.Pop(); !ok || k != 1 || v != 1 {
+		t.Error("heap unusable after Reset")
+	}
+}
+
+func TestExtractAllMin(t *testing.T) {
+	var h Heap[int]
+	h.Push(3, 30)
+	h.Push(1, 10)
+	h.Push(1, 11)
+	h.Push(1, 12)
+	h.Push(2, 20)
+	got, key := h.ExtractAllMin(nil, 1e-9)
+	if key != 1 {
+		t.Errorf("wavefront key = %g, want 1", key)
+	}
+	sort.Ints(got)
+	if len(got) != 3 || got[0] != 10 || got[1] != 11 || got[2] != 12 {
+		t.Errorf("wavefront = %v, want [10 11 12]", got)
+	}
+	if h.Len() != 2 {
+		t.Errorf("heap should retain 2 items, has %d", h.Len())
+	}
+	// Appending into an existing slice must extend it.
+	got2, key2 := h.ExtractAllMin([]int{99}, 1e-9)
+	if key2 != 2 || len(got2) != 2 || got2[0] != 99 || got2[1] != 20 {
+		t.Errorf("second wavefront = %v key %g", got2, key2)
+	}
+}
+
+func TestExtractAllMinEpsilon(t *testing.T) {
+	var h Heap[int]
+	h.Push(100.0, 1)
+	h.Push(100.0+1e-8, 2) // same wavefront within eps
+	h.Push(100.1, 3)
+	got, _ := h.ExtractAllMin(nil, 1e-6)
+	if len(got) != 2 {
+		t.Errorf("eps wavefront size = %d, want 2", len(got))
+	}
+}
+
+func TestExtractAllMinEmpty(t *testing.T) {
+	var h Heap[int]
+	got, key := h.ExtractAllMin(nil, 1e-9)
+	if got != nil || key != 0 {
+		t.Errorf("empty ExtractAllMin = %v, %g", got, key)
+	}
+}
+
+func TestHeapSortsRandomSequences(t *testing.T) {
+	f := func(seed int64, nQ uint8) bool {
+		n := int(nQ%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var h Heap[int]
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.Float64() * 1000
+			h.Push(keys[i], i)
+		}
+		sort.Float64s(keys)
+		for i := 0; i < n; i++ {
+			k, _, ok := h.Pop()
+			if !ok || k != keys[i] {
+				return false
+			}
+		}
+		_, _, ok := h.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Heap[float64]
+	var mirror []float64
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) > 0 || len(mirror) == 0 {
+			k := rng.Float64()
+			h.Push(k, k)
+			mirror = append(mirror, k)
+		} else {
+			k, v, ok := h.Pop()
+			if !ok {
+				t.Fatal("Pop failed")
+			}
+			if k != v {
+				t.Fatal("value corrupted")
+			}
+			minIdx := 0
+			for i, m := range mirror {
+				if m < mirror[minIdx] {
+					minIdx = i
+				}
+			}
+			if mirror[minIdx] != k {
+				t.Fatalf("popped %g, mirror min %g", k, mirror[minIdx])
+			}
+			mirror = append(mirror[:minIdx], mirror[minIdx+1:]...)
+		}
+	}
+}

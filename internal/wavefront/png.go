@@ -1,0 +1,94 @@
+package wavefront
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"clockroute/internal/candidate"
+	"clockroute/internal/route"
+)
+
+// palette interpolates from deep blue (wave 0, near the sink) to warm red
+// (late waves, near the source) — the Fig. 6 rings as a heat map.
+func waveColor(wave, waves int) color.RGBA {
+	if waves < 2 {
+		waves = 2
+	}
+	t := float64(wave) / float64(waves-1)
+	lerp := func(a, b float64) uint8 { return uint8(a + (b-a)*t) }
+	return color.RGBA{R: lerp(30, 235), G: lerp(80, 120), B: lerp(200, 40), A: 255}
+}
+
+// Overlay colors for path elements and blockages.
+var (
+	colUnvisited = color.RGBA{18, 18, 24, 255}
+	colObstacle  = color.RGBA{70, 70, 78, 255}
+	colIsolated  = color.RGBA{40, 40, 44, 255}
+	colWire      = color.RGBA{255, 255, 255, 255}
+	colBuffer    = color.RGBA{250, 220, 60, 255}
+	colRegister  = color.RGBA{90, 230, 90, 255}
+	colFIFO      = color.RGBA{255, 80, 200, 255}
+	colLatch     = color.RGBA{120, 255, 230, 255}
+)
+
+// RenderPNG writes the expansion (and, if non-nil, the routed path) as a
+// PNG image with cell×cell pixels per grid node, Y up. cell must be ≥ 1.
+func (r *Recorder) RenderPNG(w io.Writer, path *route.Path, cell int) error {
+	if cell < 1 {
+		return fmt.Errorf("wavefront: cell size %d < 1", cell)
+	}
+	waves := r.Waves()
+	img := image.NewRGBA(image.Rect(0, 0, r.g.W()*cell, r.g.H()*cell))
+
+	colorOf := func(id int) color.RGBA {
+		switch {
+		case r.g.Degree(id) == 0:
+			return colIsolated
+		case !r.g.Insertable(id):
+			return colObstacle
+		case r.firstWave[id] >= 0:
+			return waveColor(r.firstWave[id], waves)
+		}
+		return colUnvisited
+	}
+	overlay := map[int]color.RGBA{}
+	if path != nil {
+		for i, n := range path.Nodes {
+			switch g := path.Gates[i]; {
+			case g == candidate.GateRegister:
+				overlay[n] = colRegister
+			case g == candidate.GateFIFO:
+				overlay[n] = colFIFO
+			case g == candidate.GateLatch:
+				overlay[n] = colLatch
+			case g >= 0:
+				overlay[n] = colBuffer
+			default:
+				if _, taken := overlay[n]; !taken {
+					overlay[n] = colWire
+				}
+			}
+		}
+	}
+
+	for y := 0; y < r.g.H(); y++ {
+		for x := 0; x < r.g.W(); x++ {
+			id := y*r.g.W() + x
+			c, onPath := overlay[id]
+			if !onPath {
+				c = colorOf(id)
+			}
+			// Y axis points up: image row 0 is the top (max grid Y).
+			py := (r.g.H() - 1 - y) * cell
+			for dy := 0; dy < cell; dy++ {
+				for dx := 0; dx < cell; dx++ {
+					img.SetRGBA(x*cell+dx, py+dy, c)
+				}
+			}
+		}
+	}
+	return png.Encode(w, img)
+}
