@@ -1,0 +1,27 @@
+# Tier-1 gate: everything must build, vet clean, and pass the full test
+# suite under the race detector (the parallel planner engine makes -race
+# load-bearing, not optional).
+.PHONY: tier1 build vet test race bench tables
+
+tier1: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Reduced-scale paper benchmarks (Tables I-III, figures, ablations) plus
+# the parallel batch-routing benchmark.
+bench:
+	go test -run xxx -bench . -benchtime 1x .
+
+# Regenerate the paper tables at reduced scale.
+tables:
+	go run ./cmd/tables

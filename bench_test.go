@@ -9,6 +9,7 @@
 package clockroute
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -307,4 +308,29 @@ func BenchmarkExtension_MultiSizeLibrary(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPlanner_ParallelVsSerial routes the same 16-net SoC workload
+// with 1, 2, 4, and 8 workers over one shared grid and Elmore model. On a
+// multi-core host the 4-worker row shows the batch-routing speedup; on any
+// host the rows confirm the parallel engine pays no correctness or setup
+// penalty over the serial loop.
+func BenchmarkPlanner_ParallelVsSerial(b *testing.B) {
+	pl, specs, err := bench.SoCNetWorkload(0.5, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var configs int
+			for n := 0; n < b.N; n++ {
+				plan, err := pl.RunParallel(context.Background(), workers, specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				configs = plan.Stats.TotalConfigs
+			}
+			b.ReportMetric(float64(configs), "configs/op")
+		})
+	}
 }

@@ -28,10 +28,39 @@
 //	res, _ := clockroute.RBP(prob, 500 /*ps*/, clockroute.Options{})
 //	fmt.Println(res.Latency, res.Registers, res.Path)
 //
+// # Unified Route API
+//
+// The three algorithms share one context-aware entry point. A Request
+// selects the algorithm by Kind and carries its clock parameters; Route
+// threads the context's deadline and cancellation into the search's
+// wavefront loops, so a routing call can be time-bounded:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+//	defer cancel()
+//	res, err := clockroute.Route(ctx, prob, clockroute.Request{
+//		Kind: clockroute.KindRBP, PeriodPS: 500,
+//	})
+//	if errors.Is(err, clockroute.ErrAborted) { /* ran out of time, not infeasible */ }
+//
+// FastPath, RBP, and GALS remain as thin context-free wrappers over Route.
+// An aborted search — context cancellation, Options.Deadline, the
+// Options.Abort hook, or the Options.MaxConfigs budget — reports
+// ErrAborted, distinct from ErrNoPath's genuine infeasibility.
+//
+// # Concurrency
+//
+// Grids, delay models, and Problems are read-only during a search, so any
+// number of searches may run concurrently over shared inputs. The Planner
+// exploits this: Planner.RunParallel routes a batch of nets across a
+// worker pool with results bit-identical to the serial run. See the
+// "Concurrency model" section of DESIGN.md.
+//
 // See the examples directory for runnable scenarios.
 package clockroute
 
 import (
+	"context"
+
 	"clockroute/internal/candidate"
 	"clockroute/internal/core"
 	"clockroute/internal/elmore"
@@ -82,6 +111,20 @@ type (
 	Gate = candidate.Gate
 	// Tracer observes wavefront expansion (see wavefront.Recorder).
 	Tracer = core.Tracer
+	// Request selects an algorithm and its parameters for Route.
+	Request = core.Request
+	// RouteKind identifies one of the three algorithms in a Request.
+	RouteKind = core.Kind
+)
+
+// Request kinds for the unified Route call.
+const (
+	// KindFastPath is minimum-delay buffered routing (no registers).
+	KindFastPath = core.KindFastPath
+	// KindRBP is single-clock registered-buffered routing.
+	KindRBP = core.KindRBP
+	// KindGALS is cross-domain routing through one mixed-clock FIFO.
+	KindGALS = core.KindGALS
 )
 
 // System-level components.
@@ -96,6 +139,8 @@ type (
 	NetSpec = planner.NetSpec
 	// Plan is a set of routed nets with a latency report.
 	Plan = planner.Plan
+	// PlanStats aggregates search effort across a plan's nets.
+	PlanStats = planner.PlanStats
 	// FIFOChannel simulates the MCFIFO/relay-station substrate.
 	FIFOChannel = mcfifo.Channel
 	// FIFOConfig configures a FIFOChannel.
@@ -106,6 +151,12 @@ type (
 
 // ErrNoPath is returned when no feasible routing solution exists.
 var ErrNoPath = core.ErrNoPath
+
+// ErrAborted is returned when a search stops before exhausting its space —
+// context cancellation, a passed Options.Deadline, the Options.Abort hook,
+// or the Options.MaxConfigs budget. Use errors.Is to distinguish it from
+// ErrNoPath: an aborted search says nothing about feasibility.
+var ErrAborted = core.ErrAborted
 
 // Pt is shorthand for Point{x, y}.
 func Pt(x, y int) Point { return geom.Pt(x, y) }
@@ -132,22 +183,43 @@ func NewProblem(g *Grid, tc *Tech, src, dst Point) (*Problem, error) {
 	return core.NewProblem(g, m, g.ID(src), g.ID(dst))
 }
 
+// Route runs the algorithm selected by req on p, threading ctx's deadline
+// and cancellation into the search loops (see ErrAborted). It is the
+// unified entry point behind FastPath, RBP, and GALS.
+func Route(ctx context.Context, p *Problem, req Request) (*Result, error) {
+	return core.Route(ctx, p, req)
+}
+
 // FastPath finds the minimum-delay buffered path (no registers).
-func FastPath(p *Problem, opts Options) (*Result, error) { return core.FastPath(p, opts) }
+func FastPath(p *Problem, opts Options) (*Result, error) {
+	return core.Route(context.Background(), p, Request{Kind: KindFastPath, Options: opts})
+}
 
 // RBP finds the minimum cycle-latency registered-buffered path for a single
 // clock domain with period T (in ps).
-func RBP(p *Problem, T float64, opts Options) (*Result, error) { return core.RBP(p, T, opts) }
+func RBP(p *Problem, T float64, opts Options) (*Result, error) {
+	return core.Route(context.Background(), p, Request{Kind: KindRBP, PeriodPS: T, Options: opts})
+}
 
 // RBPArrayQueues is RBP's array-of-queues variant (identical results).
 func RBPArrayQueues(p *Problem, T float64, opts Options) (*Result, error) {
-	return core.RBPArrayQueues(p, T, opts)
+	return core.Route(context.Background(), p,
+		Request{Kind: KindRBP, PeriodPS: T, ArrayQueues: true, Options: opts})
 }
 
 // GALS finds the minimum-latency path between a source clocked at Ts and a
 // sink clocked at Tt, inserting exactly one mixed-clock FIFO.
 func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
-	return core.GALS(p, Ts, Tt, opts)
+	return core.Route(context.Background(), p,
+		Request{Kind: KindGALS, SrcPeriodPS: Ts, DstPeriodPS: Tt, Options: opts})
+}
+
+// RoutePlanContext routes every net of specs over pl's floorplan with up to
+// `workers` concurrent searches (<= 0 selects GOMAXPROCS), honoring ctx's
+// deadline and cancellation per net. Results keep the order of specs and
+// match a serial Planner.PlanNets run exactly; see Planner.RunParallel.
+func RoutePlanContext(ctx context.Context, pl *Planner, specs []NetSpec, workers int) (*Plan, error) {
+	return pl.RunParallel(ctx, workers, specs)
 }
 
 // LatchResult reports a transparent-latch route (the latch-based routing

@@ -1,20 +1,24 @@
 // Command planner runs interconnect planning over a floorplan: it routes a
 // netlist of block-to-block connections (RBP within a domain, GALS across
-// domains) and prints the cycle-latency annotation report.
+// domains) concurrently and prints the cycle-latency annotation report.
 //
 // Usage:
 //
 //	planner                    # the built-in 25 mm SoC and demo netlist
 //	planner -pitch 0.125 -clock 350
 //	planner -seed 7 -random 8  # a seeded random floorplan instead
+//	planner -workers 8 -timeout 2s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"clockroute/internal/cliutil"
 	"clockroute/internal/core"
 	"clockroute/internal/floorplan"
 	"clockroute/internal/planner"
@@ -26,12 +30,26 @@ func main() {
 	log.SetPrefix("planner: ")
 
 	var (
-		pitch  = flag.Float64("pitch", 0.25, "planning grid pitch in mm")
-		clock  = flag.Float64("clock", 500, "chip clock period in ps for blocks without a local clock")
-		random = flag.Int("random", 0, "use a random floorplan with this many blocks instead of the SoC demo")
-		seed   = flag.Int64("seed", 1, "seed for -random")
+		pitch   = flag.Float64("pitch", 0.25, "planning grid pitch in mm")
+		clock   = flag.Float64("clock", 500, "chip clock period in ps for blocks without a local clock")
+		random  = flag.Int("random", 0, "use a random floorplan with this many blocks instead of the SoC demo")
+		seed    = flag.Int64("seed", 1, "seed for -random")
+		workers = flag.Int("workers", 0, "concurrent net searches (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort routing after this long (0 = unlimited)")
 	)
 	flag.Parse()
+
+	var v cliutil.Validator
+	v.Positive("pitch", *pitch)
+	v.Positive("clock", *clock)
+	v.NonNegativeInt("random", *random)
+	v.NonNegativeInt("workers", *workers)
+	v.NonNegativeDuration("timeout", *timeout)
+	if err := v.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var fp *floorplan.Floorplan
 	var err error
@@ -86,7 +104,13 @@ func main() {
 		log.Fatal("no routable nets")
 	}
 
-	plan, err := pl.PlanNets(specs)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	plan, err := pl.RunParallel(ctx, *workers, specs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,4 +119,7 @@ func main() {
 	}
 	fmt.Printf("\ntotal routed wire %.1f mm across %d nets (%d failed)\n",
 		plan.TotalWireMM(), len(plan.Nets), len(plan.Failed()))
+	fmt.Printf("%d workers, %d configs total, peak queue %d, wall %v\n",
+		plan.Stats.Workers, plan.Stats.TotalConfigs, plan.Stats.MaxQSize,
+		plan.Stats.Elapsed.Round(time.Millisecond))
 }

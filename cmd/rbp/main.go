@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,7 @@ func main() {
 		period                           = flag.Float64("period", 400, "clock period in ps")
 		render                           = flag.Bool("render", false, "print the wavefront/path map")
 		variant                          = flag.String("variant", "two-queue", "implementation: two-queue | array")
+		timeout                          = flag.Duration("timeout", 0, "abort the search after this long (0 = unlimited)")
 		obstacles, wireblocks, regblocks cliutil.RectList
 	)
 	flag.Var(&obstacles, "obstacle", "physical obstacle rect x0,y0,x1,y1 (repeatable)")
@@ -42,17 +44,37 @@ func main() {
 	flag.Var(&regblocks, "regblock", "register blockage rect (repeatable)")
 	flag.Parse()
 
+	usage := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	w, h, err := cliutil.ParseGridSize(*gridSize)
 	if err != nil {
-		log.Fatal(err)
+		usage(err)
 	}
 	src, err := cliutil.ParsePoint(*srcFlag)
 	if err != nil {
-		log.Fatal(err)
+		usage(err)
 	}
 	dst, err := cliutil.ParsePoint(*dstFlag)
 	if err != nil {
-		log.Fatal(err)
+		usage(err)
+	}
+
+	// Validate the flag combination up front so bad inputs exit with a
+	// usage message instead of panicking deep inside grid construction.
+	var v cliutil.Validator
+	v.GridSize("grid", w, h)
+	v.Positive("pitch", *pitch)
+	v.Positive("period", *period)
+	v.InBounds("src", src, w, h)
+	v.InBounds("dst", dst, w, h)
+	v.Distinct("src", "dst", src, dst)
+	v.OneOf("variant", *variant, "two-queue", "array")
+	v.NonNegativeDuration("timeout", *timeout)
+	if err := v.Err(); err != nil {
+		usage(err)
 	}
 
 	g, err := grid.New(w, h, *pitch)
@@ -86,16 +108,18 @@ func main() {
 		opts.Trace = rec
 	}
 
-	run := core.RBP
-	switch *variant {
-	case "two-queue":
-	case "array":
-		run = core.RBPArrayQueues
-	default:
-		log.Fatalf("unknown -variant %q", *variant)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-
-	res, err := run(prob, *period, opts)
+	res, err := core.Route(ctx, prob, core.Request{
+		Kind:        core.KindRBP,
+		PeriodPS:    *period,
+		ArrayQueues: *variant == "array",
+		Options:     opts,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

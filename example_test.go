@@ -1,6 +1,7 @@
 package clockroute_test
 
 import (
+	"context"
 	"fmt"
 
 	"clockroute"
@@ -69,4 +70,25 @@ func ExampleVerifySingleClock() {
 	fmt.Printf("verified %.0f ps, err=%v\n", latency, err)
 	// Output:
 	// verified 800 ps, err=<nil>
+}
+
+// ExampleRoute routes the same net through the unified entry point, with a
+// context carrying the caller's cancellation policy.
+func ExampleRoute() {
+	g := clockroute.NewGrid(21, 3, 0.5)
+	tech := clockroute.DefaultTech()
+	prob, err := clockroute.NewProblem(g, tech, clockroute.Pt(0, 1), clockroute.Pt(20, 1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := clockroute.Route(context.Background(), prob, clockroute.Request{
+		Kind:     clockroute.KindRBP,
+		PeriodPS: 400,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("latency %.0f ps with %d registers\n", res.Latency, res.Registers)
+	// Output:
+	// latency 800 ps with 1 registers
 }

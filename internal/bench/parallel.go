@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"clockroute/internal/core"
+	"clockroute/internal/floorplan"
+	"clockroute/internal/geom"
+	"clockroute/internal/planner"
+	"clockroute/internal/tech"
+)
+
+// socWorkloadPeriods cycles through the endpoint-period pairs of the
+// SoC25mm workload: equal pairs become RBP nets, unequal ones GALS nets.
+// All periods are comfortably routable down to the 0.25 mm pitch.
+var socWorkloadPeriods = [][2]float64{
+	{400, 400}, // rbp
+	{500, 300}, // gals
+	{500, 500}, // rbp
+	{300, 500}, // gals
+	{600, 600}, // rbp
+	{350, 450}, // gals
+}
+
+// SoCNetWorkload builds a planner over the paper's SoC25mm die and a
+// deterministic list of n cross-die nets with mixed RBP/GALS modes — the
+// shared workload of the parallel-vs-serial planner benchmark and the
+// concurrency stress tests. Endpoints sit on the die's west and east
+// margins (columns 1 and W−2), which every SoC25mm pitch keeps clear of IP
+// blocks, so all n nets are routable.
+func SoCNetWorkload(pitchMM float64, n int) (*planner.Planner, []planner.NetSpec, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("bench: non-positive net count %d", n)
+	}
+	fp, err := floorplan.SoC25mm(pitchMM)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := planner.New(fp, tech.CongPan70nm(), core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := fp.GridH - 2 // usable rows 1..GridH-2
+	specs := make([]planner.NetSpec, 0, n)
+	for i := 0; i < n; i++ {
+		pp := socWorkloadPeriods[i%len(socWorkloadPeriods)]
+		specs = append(specs, planner.NetSpec{
+			Name:        fmt.Sprintf("net%03d", i),
+			Src:         geom.Pt(1, 1+(i*3)%rows),
+			Dst:         geom.Pt(fp.GridW-2, 1+(i*5+7)%rows),
+			SrcPeriodPS: pp[0],
+			DstPeriodPS: pp[1],
+		})
+	}
+	return pl, specs, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"clockroute/internal/geom"
 )
@@ -64,6 +65,78 @@ func (r *RectList) Set(s string) error {
 	}
 	*r = append(*r, rc)
 	return nil
+}
+
+// Validator accumulates flag-validation failures so a command can check
+// every flag combination up front and report all problems in one usage
+// message (instead of panicking or dying on the first bad input mid-run).
+type Validator struct {
+	errs []string
+}
+
+func (v *Validator) failf(format string, args ...any) {
+	v.errs = append(v.errs, fmt.Sprintf(format, args...))
+}
+
+// Positive requires flag `name` to be > 0.
+func (v *Validator) Positive(name string, val float64) {
+	if val <= 0 {
+		v.failf("-%s must be positive, got %g", name, val)
+	}
+}
+
+// NonNegativeInt requires flag `name` to be >= 0.
+func (v *Validator) NonNegativeInt(name string, val int) {
+	if val < 0 {
+		v.failf("-%s must not be negative, got %d", name, val)
+	}
+}
+
+// NonNegativeDuration requires flag `name` to be >= 0.
+func (v *Validator) NonNegativeDuration(name string, d time.Duration) {
+	if d < 0 {
+		v.failf("-%s must not be negative, got %v", name, d)
+	}
+}
+
+// GridSize requires a routable grid: at least 2 columns and 1 row.
+func (v *Validator) GridSize(name string, w, h int) {
+	if w < 2 || h < 1 {
+		v.failf("-%s grid %dx%d too small, want at least 2x1", name, w, h)
+	}
+}
+
+// InBounds requires point p to lie on a w×h grid.
+func (v *Validator) InBounds(name string, p geom.Point, w, h int) {
+	if p.X < 0 || p.X >= w || p.Y < 0 || p.Y >= h {
+		v.failf("-%s point %d,%d outside the %dx%d grid", name, p.X, p.Y, w, h)
+	}
+}
+
+// Distinct requires the two named points to differ.
+func (v *Validator) Distinct(nameA, nameB string, a, b geom.Point) {
+	if a == b {
+		v.failf("-%s and -%s must differ, both are %d,%d", nameA, nameB, a.X, a.Y)
+	}
+}
+
+// OneOf requires flag `name` to hold one of the allowed values.
+func (v *Validator) OneOf(name, val string, allowed ...string) {
+	for _, a := range allowed {
+		if val == a {
+			return
+		}
+	}
+	v.failf("-%s must be one of %s, got %q", name, strings.Join(allowed, "|"), val)
+}
+
+// Err returns nil when every check passed, or one error listing every
+// recorded failure, one per line — ready to print above the flag usage.
+func (v *Validator) Err() error {
+	if len(v.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invalid flags:\n  %s", strings.Join(v.errs, "\n  "))
 }
 
 // ParseGridSize parses "WxH" into node counts.

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"strings"
 	"testing"
 
 	"clockroute/internal/geom"
@@ -46,6 +47,41 @@ func TestRectList(t *testing.T) {
 	}
 	if err := rl.Set("bogus"); err == nil {
 		t.Error("bad rect should fail")
+	}
+}
+
+func TestValidatorPassesGoodFlags(t *testing.T) {
+	var v Validator
+	v.Positive("pitch", 0.25)
+	v.NonNegativeInt("workers", 0)
+	v.GridSize("grid", 101, 101)
+	v.InBounds("src", geom.Pt(0, 0), 101, 101)
+	v.InBounds("dst", geom.Pt(100, 100), 101, 101)
+	v.Distinct("src", "dst", geom.Pt(0, 0), geom.Pt(100, 100))
+	v.OneOf("variant", "array", "two-queue", "array")
+	if err := v.Err(); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+}
+
+func TestValidatorCollectsEveryFailure(t *testing.T) {
+	var v Validator
+	v.Positive("pitch", 0)
+	v.Positive("period", -5)
+	v.NonNegativeInt("workers", -1)
+	v.GridSize("grid", 1, 0)
+	v.InBounds("src", geom.Pt(-1, 3), 10, 10)
+	v.InBounds("dst", geom.Pt(10, 3), 10, 10)
+	v.Distinct("src", "dst", geom.Pt(2, 2), geom.Pt(2, 2))
+	v.OneOf("variant", "bogus", "two-queue", "array")
+	err := v.Err()
+	if err == nil {
+		t.Fatal("all-bad flags accepted")
+	}
+	for _, want := range []string{"-pitch", "-period", "-workers", "-grid", "-src", "-dst", "-variant"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error drops %s: %v", want, err)
+		}
 	}
 }
 

@@ -29,6 +29,13 @@ import (
 // the sink is unreachable.
 var ErrNoPath = errors.New("core: no feasible routing solution")
 
+// ErrAborted is returned when a search stops before exhausting its space:
+// the MaxConfigs budget ran out, the Deadline passed, or the Abort hook
+// (including a cancelled context threaded through Route) fired. It is
+// distinct from ErrNoPath — an aborted search says nothing about
+// feasibility.
+var ErrAborted = errors.New("core: search aborted")
+
 // Tracer observes the search for visualization and diagnostics.
 // Implementations must be cheap; the router calls Visit for every candidate
 // it pops.
@@ -58,9 +65,48 @@ type Options struct {
 	MaximizeSlack bool
 	// Trace, when non-nil, observes the expansion.
 	Trace Tracer
-	// MaxConfigs aborts the search with an error after this many popped
+	// MaxConfigs aborts the search with ErrAborted after this many popped
 	// candidates (0 = unlimited). A safety valve for ablations.
 	MaxConfigs int
+	// Deadline, when non-zero, aborts the search with ErrAborted once the
+	// wall clock passes it. Route narrows it further from the context's
+	// deadline.
+	Deadline time.Time
+	// Abort, when non-nil, is polled cooperatively from the wavefront loops;
+	// a non-nil return aborts the search with that error wrapped in
+	// ErrAborted. Route installs a context check here.
+	Abort func() error
+}
+
+// abortStride is how many popped candidates go between polls of the
+// Deadline and Abort hooks; MaxConfigs is enforced exactly on every pop.
+// At typical expansion rates a stride is well under a millisecond, so
+// cancellation stays prompt without a clock read per candidate.
+const abortStride = 256
+
+// CheckAbort reports whether the search must stop after popping the
+// configs-th candidate. The returned error (nil to continue) wraps
+// ErrAborted; for Abort-hook failures it wraps the hook's error too, so
+// callers can errors.Is against both ErrAborted and e.g. context.Canceled.
+func (o *Options) CheckAbort(configs int) error {
+	if o.MaxConfigs > 0 && configs > o.MaxConfigs {
+		return fmt.Errorf("%w: MaxConfigs budget of %d exhausted", ErrAborted, o.MaxConfigs)
+	}
+	if o.Abort == nil && o.Deadline.IsZero() {
+		return nil
+	}
+	if configs%abortStride != 0 {
+		return nil
+	}
+	if !o.Deadline.IsZero() && time.Now().After(o.Deadline) {
+		return fmt.Errorf("%w: deadline exceeded", ErrAborted)
+	}
+	if o.Abort != nil {
+		if err := o.Abort(); err != nil {
+			return fmt.Errorf("%w: %w", ErrAborted, err)
+		}
+	}
+	return nil
 }
 
 // Stats records the effort of one search run, matching the instrumented

@@ -359,8 +359,12 @@ func TestRBPAblationsPreserveOptimum(t *testing.T) {
 func TestRBPMaxConfigsAborts(t *testing.T) {
 	g := grid.MustNew(30, 30, 0.5)
 	p := problemOn(t, g, geom.Pt(0, 0), geom.Pt(29, 29))
-	if _, err := RBP(p, 500, Options{MaxConfigs: 10}); !errors.Is(err, ErrNoPath) {
-		t.Errorf("err = %v, want ErrNoPath on config budget", err)
+	_, err := RBP(p, 500, Options{MaxConfigs: 10})
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("err = %v, want ErrAborted on config budget", err)
+	}
+	if errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v must not claim infeasibility", err)
 	}
 }
 

@@ -51,8 +51,8 @@ func FastPath(p *Problem, opts Options) (*Result, error) {
 			continue
 		}
 		res.Stats.Configs++
-		if opts.MaxConfigs > 0 && res.Stats.Configs > opts.MaxConfigs {
-			return nil, ErrNoPath
+		if err := opts.CheckAbort(res.Stats.Configs); err != nil {
+			return nil, err
 		}
 		if opts.Trace != nil {
 			opts.Trace.Visit(0, int(cur.Node))

@@ -110,8 +110,8 @@ func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
 			continue
 		}
 		res.Stats.Configs++
-		if opts.MaxConfigs > 0 && res.Stats.Configs > opts.MaxConfigs {
-			return nil, ErrNoPath
+		if err := opts.CheckAbort(res.Stats.Configs); err != nil {
+			return nil, err
 		}
 		if opts.Trace != nil {
 			opts.Trace.Visit(res.Stats.Waves-1, int(c.Node))

@@ -75,14 +75,17 @@ func (e *rbpEngine) nextEpoch() {
 
 // expand pops one candidate: checks source arrival (returning it if the
 // path closes feasibly) and generates the edge, buffer, and register
-// successors.
-func (e *rbpEngine) expand(c *candidate.Candidate, wave int) *arrival {
+// successors. A non-nil error (wrapping ErrAborted) stops the search.
+func (e *rbpEngine) expand(c *candidate.Candidate, wave int) (*arrival, error) {
 	g, m := e.p.Grid, e.p.Model
 	tc := e.p.tech()
 	reg := tc.Register
 	u := int(c.Node)
 
 	e.res.Stats.Configs++
+	if err := e.opts.CheckAbort(e.res.Stats.Configs); err != nil {
+		return nil, err
+	}
 	if e.opts.Trace != nil {
 		e.opts.Trace.Visit(wave, u)
 	}
@@ -99,7 +102,7 @@ func (e *rbpEngine) expand(c *candidate.Candidate, wave int) *arrival {
 			}
 			arr = &arrival{final: c, srcDelay: d2, slack: slack}
 			if !e.opts.MaximizeSlack {
-				return arr
+				return arr, nil
 			}
 		}
 	}
@@ -126,7 +129,7 @@ func (e *rbpEngine) expand(c *candidate.Candidate, wave int) *arrival {
 	// the port registers.
 	if !g.Insertable(u) || c.Gate != candidate.GateNone ||
 		u == e.p.Source || u == e.p.Sink {
-		return arr
+		return arr, nil
 	}
 
 	// Step 7: insert each library buffer at u.
@@ -164,7 +167,7 @@ func (e *rbpEngine) expand(c *candidate.Candidate, wave int) *arrival {
 			}, reg.Setup, e.regStore)
 		}
 	}
-	return arr
+	return arr, nil
 }
 
 func (e *rbpEngine) close(a *arrival, wave int, start time.Time) *Result {
@@ -235,10 +238,11 @@ func RBP(p *Problem, T float64, opts Options) (*Result, error) {
 		if c.Dead {
 			continue
 		}
-		if opts.MaxConfigs > 0 && res.Stats.Configs >= opts.MaxConfigs {
-			return nil, ErrNoPath
+		arr, err := e.expand(c, e.curWave)
+		if err != nil {
+			return nil, err
 		}
-		if arr := e.expand(c, e.curWave); arr != nil {
+		if arr != nil {
 			if !opts.MaximizeSlack {
 				return e.close(arr, e.curWave, start), nil
 			}
@@ -304,10 +308,11 @@ func RBPArrayQueues(p *Problem, T float64, opts Options) (*Result, error) {
 			if c.Dead {
 				continue
 			}
-			if opts.MaxConfigs > 0 && res.Stats.Configs >= opts.MaxConfigs {
-				return nil, ErrNoPath
+			arr, err := e.expand(c, cur)
+			if err != nil {
+				return nil, err
 			}
-			if arr := e.expand(c, cur); arr != nil {
+			if arr != nil {
 				if !opts.MaximizeSlack {
 					return e.close(arr, cur, start), nil
 				}

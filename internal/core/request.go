@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Kind selects one of the published algorithms for Route.
+type Kind int
+
+// Request kinds.
+const (
+	// KindFastPath is the minimum-delay buffered baseline (no registers).
+	KindFastPath Kind = iota
+	// KindRBP is single-clock registered-buffered routing.
+	KindRBP
+	// KindGALS is cross-domain routing through one mixed-clock FIFO.
+	KindGALS
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFastPath:
+		return "fastpath"
+	case KindRBP:
+		return "rbp"
+	case KindGALS:
+		return "gals"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Request bundles one routing query for Route: the algorithm, its clock
+// parameters, and the search options. The zero value of Options keeps the
+// published behavior; only the fields the Kind needs are consulted.
+type Request struct {
+	Kind Kind
+	// PeriodPS is the clock period for KindRBP. When zero and the endpoint
+	// periods below agree, that shared period is used instead — so a Request
+	// can be built uniformly from a net's two endpoint clocks.
+	PeriodPS float64
+	// SrcPeriodPS and DstPeriodPS are the two domain periods for KindGALS.
+	SrcPeriodPS float64
+	DstPeriodPS float64
+	// ArrayQueues selects the array-of-queues RBP variant (identical
+	// results; see RBPArrayQueues).
+	ArrayQueues bool
+	Options     Options
+}
+
+// Route runs the algorithm selected by req on p, threading ctx into the
+// search: the context's deadline narrows Options.Deadline and its
+// cancellation is polled through Options.Abort, so a cancelled or expired
+// context aborts the search promptly with an error wrapping both ErrAborted
+// and the context's error. FastPath, RBP, and GALS remain available as
+// direct calls for context-free use.
+func Route(ctx context.Context, p *Problem, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrAborted, err)
+	}
+	opts := withContext(ctx, req.Options)
+	switch req.Kind {
+	case KindFastPath:
+		return FastPath(p, opts)
+	case KindRBP:
+		T := req.PeriodPS
+		if T == 0 && req.SrcPeriodPS == req.DstPeriodPS {
+			T = req.SrcPeriodPS
+		}
+		if req.ArrayQueues {
+			return RBPArrayQueues(p, T, opts)
+		}
+		return RBP(p, T, opts)
+	case KindGALS:
+		return GALS(p, req.SrcPeriodPS, req.DstPeriodPS, opts)
+	}
+	return nil, fmt.Errorf("core: unknown request kind %v", req.Kind)
+}
+
+// withContext folds ctx's deadline and cancellation into a copy of opts.
+func withContext(ctx context.Context, opts Options) Options {
+	if d, ok := ctx.Deadline(); ok && (opts.Deadline.IsZero() || d.Before(opts.Deadline)) {
+		opts.Deadline = d
+	}
+	if ctx.Done() != nil {
+		prev := opts.Abort
+		opts.Abort = func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if prev != nil {
+				return prev()
+			}
+			return nil
+		}
+	}
+	return opts
+}

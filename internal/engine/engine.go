@@ -1,0 +1,71 @@
+// Package engine is the concurrent execution substrate for batch routing:
+// a bounded worker pool that maps an indexed task set over a fixed number
+// of goroutines with deterministic result placement.
+//
+// Determinism comes from indexing, not scheduling: every task writes only
+// its own slot of the result slice, so the output is identical regardless
+// of which worker ran which task or in what order. Cancellation is
+// cooperative — the context is handed to every task, and the routing tasks
+// built on core.Route abort themselves when it fires — so Map always
+// returns a fully-populated slice (aborted tasks record their abort error
+// in their own result).
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS, and the count is clamped to n so no goroutine starts idle.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) across at most `workers`
+// goroutines (<= 0 selects GOMAXPROCS) and returns the results in index
+// order. Tasks are claimed from a shared counter, so long tasks do not
+// convoy behind short ones. Map returns only after every task has run.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(ctx, i)
+		}
+		return out
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(ctx, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	got := Map(context.Background(), 4, 100, func(_ context.Context, i int) int {
+		return i * i
+	})
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapRunsEveryTaskExactlyOnce(t *testing.T) {
+	var calls [64]atomic.Int32
+	Map(context.Background(), 8, len(calls), func(_ context.Context, i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("task %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	ready := make(chan struct{})
+	Map(context.Background(), workers, 24, func(_ context.Context, i int) int {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		// Let other workers catch up so a violation would be observed.
+		select {
+		case ready <- struct{}{}:
+		default:
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return i
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(context.Background(), 4, 0, func(_ context.Context, i int) int { return i }); len(got) != 0 {
+		t.Errorf("n=0 returned %d results", len(got))
+	}
+	got := Map(context.Background(), 16, 1, func(_ context.Context, i int) int { return 7 })
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("n=1 got %v", got)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0, 100); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8, 3) = %d, want clamp to 3", w)
+	}
+	if w := Workers(-2, 0); w != 1 {
+		t.Errorf("Workers(-2, 0) = %d, want 1", w)
+	}
+}

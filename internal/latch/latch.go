@@ -179,9 +179,11 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 				continue
 			}
 			stats.Configs++
-			if opts.MaxConfigs > 0 && stats.Configs > opts.MaxConfigs {
+			// The abort budget spans the whole iterative deepening, and an
+			// abort (unlike per-iteration infeasibility) ends the search.
+			if err := opts.CheckAbort(total.Configs + stats.Configs); err != nil {
 				finishStats()
-				return nil, ErrNoPath
+				return nil, err
 			}
 			if opts.Trace != nil {
 				opts.Trace.Visit(cur, int(c.Node))

@@ -1,0 +1,131 @@
+package planner_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"clockroute/internal/bench"
+	"clockroute/internal/core"
+	"clockroute/internal/planner"
+)
+
+// TestRunParallelMatchesSerial32Nets routes 32 mixed RBP/GALS nets on one
+// shared SoC25mm grid with 8 workers and asserts the batch engine's results
+// are identical to the serial run — latencies, register counts, modes, and
+// the routed paths themselves. Run with -race: this is also the data-race
+// stress for the shared grid/model.
+func TestRunParallelMatchesSerial32Nets(t *testing.T) {
+	pl, specs, err := bench.SoCNetWorkload(1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := pl.PlanNets(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pl.RunParallel(context.Background(), 8, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Nets) != len(specs) || len(par.Nets) != len(specs) {
+		t.Fatalf("net counts: serial %d, parallel %d, want %d", len(serial.Nets), len(par.Nets), len(specs))
+	}
+
+	modes := map[planner.Mode]int{}
+	for i := range specs {
+		s, p := serial.Nets[i], par.Nets[i]
+		if s.Err != nil {
+			t.Fatalf("net %q unroutable in serial run: %v", specs[i].Name, s.Err)
+		}
+		if p.Err != nil {
+			t.Fatalf("net %q unroutable in parallel run: %v", specs[i].Name, p.Err)
+		}
+		if p.Spec.Name != specs[i].Name {
+			t.Fatalf("result %d is net %q, want %q: ordering lost", i, p.Spec.Name, specs[i].Name)
+		}
+		if s.Mode != p.Mode || s.LatencyPS != p.LatencyPS || s.Registers != p.Registers ||
+			s.Buffers != p.Buffers || s.SrcCycles != p.SrcCycles || s.DstCycles != p.DstCycles ||
+			s.Configs != p.Configs {
+			t.Errorf("net %q diverged: serial %+v vs parallel %+v", specs[i].Name, s, p)
+		}
+		if len(s.Path.Nodes) != len(p.Path.Nodes) {
+			t.Errorf("net %q path length diverged", specs[i].Name)
+			continue
+		}
+		for j := range s.Path.Nodes {
+			if s.Path.Nodes[j] != p.Path.Nodes[j] || s.Path.Gates[j] != p.Path.Gates[j] {
+				t.Errorf("net %q path diverged at step %d", specs[i].Name, j)
+				break
+			}
+		}
+		modes[p.Mode]++
+	}
+	if modes[planner.ModeRBP] == 0 || modes[planner.ModeGALS] == 0 {
+		t.Errorf("workload must mix modes, got %v", modes)
+	}
+	if ws := par.Stats.Workers; ws != 8 {
+		t.Errorf("parallel plan ran with %d workers, want 8", ws)
+	}
+	if serial.Stats.TotalConfigs != par.Stats.TotalConfigs {
+		t.Errorf("aggregate configs diverged: %d vs %d", serial.Stats.TotalConfigs, par.Stats.TotalConfigs)
+	}
+	if par.Stats.TotalConfigs == 0 || par.Stats.MaxQSize == 0 || par.Stats.Elapsed <= 0 {
+		t.Errorf("aggregate stats not populated: %+v", par.Stats)
+	}
+}
+
+// TestRunParallelCancellation routes a heavier workload under a deadline
+// that expires mid-search and asserts the aborted nets fail with
+// core.ErrAborted, promptly.
+func TestRunParallelCancellation(t *testing.T) {
+	pl, specs, err := bench.SoCNetWorkload(0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	plan, err := pl.RunParallel(ctx, 4, specs)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborted := 0
+	for _, n := range plan.Nets {
+		if n.Err == nil {
+			continue
+		}
+		if !errors.Is(n.Err, core.ErrAborted) {
+			t.Errorf("net %q failed with %v, want ErrAborted", n.Spec.Name, n.Err)
+		}
+		if errors.Is(n.Err, core.ErrNoPath) {
+			t.Errorf("net %q abort must not claim infeasibility: %v", n.Spec.Name, n.Err)
+		}
+		aborted++
+	}
+	if aborted == 0 {
+		t.Error("deadline mid-search aborted no nets")
+	}
+	// Each 0.25 mm-pitch net takes far longer than the deadline serially;
+	// a prompt abort returns orders of magnitude sooner.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation not prompt: whole plan took %v", elapsed)
+	}
+}
+
+// TestRunParallelValidation mirrors PlanNets' spec validation.
+func TestRunParallelValidation(t *testing.T) {
+	pl, specs, err := bench.SoCNetWorkload(1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.RunParallel(context.Background(), 4, nil); err == nil {
+		t.Error("empty net list must fail")
+	}
+	dup := []planner.NetSpec{specs[0], specs[0]}
+	if _, err := pl.RunParallel(context.Background(), 4, dup); err == nil {
+		t.Error("duplicate names must fail")
+	}
+}

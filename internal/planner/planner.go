@@ -8,15 +8,19 @@
 package planner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"text/tabwriter"
+	"time"
 
 	"clockroute/internal/candidate"
 	"clockroute/internal/core"
 	"clockroute/internal/elmore"
+	"clockroute/internal/engine"
 	"clockroute/internal/floorplan"
 	"clockroute/internal/geom"
 	"clockroute/internal/grid"
@@ -104,8 +108,26 @@ type NetResult struct {
 	Buffers   int
 	WireMM    float64
 	Configs   int
+	// MaxQSize is the peak queue size of the winning search.
+	MaxQSize int
+	// Elapsed is this net's wall time, covering every wire width tried.
+	Elapsed time.Duration
 	// WireWidth is the chosen wire width multiple (1 = nominal).
 	WireWidth float64
+}
+
+// PlanStats aggregates search effort across a whole plan, the batch
+// counterpart of core.Stats.
+type PlanStats struct {
+	// Workers is the goroutine count the plan ran with (1 = serial).
+	Workers int
+	// TotalConfigs sums the configurations investigated across all nets.
+	TotalConfigs int
+	// MaxQSize is the largest per-net peak queue size.
+	MaxQSize int
+	// Elapsed is the wall time of the whole plan; with workers > 1 it is
+	// less than the sum of the per-net Elapsed times.
+	Elapsed time.Duration
 }
 
 // Plan is the set of routed nets over one floorplan.
@@ -114,9 +136,12 @@ type Plan struct {
 	Grid      *grid.Grid
 	Model     *elmore.Model
 	Nets      []NetResult
+	Stats     PlanStats
 }
 
-// Planner routes nets over a fixed floorplan and technology.
+// Planner routes nets over a fixed floorplan and technology. The grid and
+// delay model are shared read-only by every search, so one Planner may
+// route many nets concurrently (see RunParallel).
 type Planner struct {
 	fp   *floorplan.Floorplan
 	g    *grid.Grid
@@ -125,7 +150,8 @@ type Planner struct {
 	opts core.Options
 
 	// widthModels caches delay models for non-nominal wire widths
-	// (NetSpec.WireWidths).
+	// (NetSpec.WireWidths); mu makes the cache safe under RunParallel.
+	mu          sync.Mutex
 	widthModels map[float64]*elmore.Model
 }
 
@@ -170,6 +196,8 @@ func (pl *Planner) modelForWidth(width float64) (*elmore.Model, error) {
 	if width == 1 {
 		return pl.m, nil
 	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	if m, ok := pl.widthModels[width]; ok {
 		return m, nil
 	}
@@ -192,13 +220,22 @@ func (pl *Planner) modelForWidth(width float64) (*elmore.Model, error) {
 // periods, and independently verifies the result before reporting it. When
 // the spec lists wire widths, every width is tried and the best kept.
 func (pl *Planner) RouteNet(spec NetSpec) NetResult {
+	return pl.RouteNetContext(context.Background(), spec)
+}
+
+// RouteNetContext is RouteNet with cooperative cancellation: the context's
+// deadline and cancellation are threaded into the search's wavefront loops
+// (core.Route), so an expired context records an error wrapping
+// core.ErrAborted in the result instead of blocking until exhaustion.
+func (pl *Planner) RouteNetContext(ctx context.Context, spec NetSpec) NetResult {
+	start := time.Now()
 	widths := spec.WireWidths
 	if len(widths) == 0 {
 		widths = []float64{1}
 	}
 	best := NetResult{Spec: spec, Err: fmt.Errorf("planner: net %q: no widths", spec.Name)}
 	for _, w := range widths {
-		res := pl.routeNetAtWidth(spec, w)
+		res := pl.routeNetAtWidth(ctx, spec, w)
 		if res.Err != nil {
 			if best.Err != nil {
 				best = res
@@ -212,10 +249,11 @@ func (pl *Planner) RouteNet(spec NetSpec) NetResult {
 			best = res
 		}
 	}
+	best.Elapsed = time.Since(start)
 	return best
 }
 
-func (pl *Planner) routeNetAtWidth(spec NetSpec, width float64) NetResult {
+func (pl *Planner) routeNetAtWidth(ctx context.Context, spec NetSpec, width float64) NetResult {
 	out := NetResult{Spec: spec, WireWidth: width}
 	if spec.SrcPeriodPS <= 0 || spec.DstPeriodPS <= 0 {
 		out.Err = fmt.Errorf("planner: net %q: non-positive period", spec.Name)
@@ -236,17 +274,20 @@ func (pl *Planner) routeNetAtWidth(spec NetSpec, width float64) NetResult {
 		return out
 	}
 
-	var res *core.Result
+	req := core.Request{Options: pl.opts}
 	if spec.SrcPeriodPS == spec.DstPeriodPS {
 		out.Mode = ModeRBP
-		res, err = core.RBP(prob, spec.SrcPeriodPS, pl.opts)
-		if err == nil {
-			_, err = route.VerifySingleClock(res.Path, pl.g, m, spec.SrcPeriodPS)
-		}
+		req.Kind, req.PeriodPS = core.KindRBP, spec.SrcPeriodPS
 	} else {
 		out.Mode = ModeGALS
-		res, err = core.GALS(prob, spec.SrcPeriodPS, spec.DstPeriodPS, pl.opts)
-		if err == nil {
+		req.Kind = core.KindGALS
+		req.SrcPeriodPS, req.DstPeriodPS = spec.SrcPeriodPS, spec.DstPeriodPS
+	}
+	res, err := core.Route(ctx, prob, req)
+	if err == nil {
+		if out.Mode == ModeRBP {
+			_, err = route.VerifySingleClock(res.Path, pl.g, m, spec.SrcPeriodPS)
+		} else {
 			_, err = route.VerifyMultiClock(res.Path, pl.g, m, spec.SrcPeriodPS, spec.DstPeriodPS)
 		}
 	}
@@ -261,6 +302,7 @@ func (pl *Planner) routeNetAtWidth(spec NetSpec, width float64) NetResult {
 	out.Buffers = res.Buffers
 	out.WireMM = float64(res.Path.Len()) * pl.g.PitchMM()
 	out.Configs = res.Stats.Configs
+	out.MaxQSize = res.Stats.MaxQSize
 	if out.Mode == ModeRBP {
 		out.SrcCycles = res.Registers + 1
 		out.DstCycles = 0
@@ -275,48 +317,91 @@ func (pl *Planner) routeNetAtWidth(spec NetSpec, width float64) NetResult {
 // are recorded in the results, not returned: planning a chip with one
 // unroutable net still reports the other nets. Nets are routed
 // independently on the shared grid (the paper's single-net formulation);
-// see PlanNetsExclusive for congestion-aware planning.
+// see PlanNetsExclusive for congestion-aware planning and RunParallel for
+// the concurrent batch engine. PlanNets is RunParallel with one worker.
 func (pl *Planner) PlanNets(specs []NetSpec) (*Plan, error) {
-	return pl.plan(specs, false)
+	return pl.RunParallel(context.Background(), 1, specs)
+}
+
+// RunParallel routes every net concurrently across up to `workers`
+// goroutines (<= 0 selects GOMAXPROCS) over the shared read-only grid and
+// delay model. Results keep the order of specs and are bit-identical to a
+// serial PlanNets run: each net's search is an independent deterministic
+// dynamic program, so scheduling cannot change its outcome. The context's
+// deadline/cancellation aborts in-flight and pending searches promptly;
+// aborted nets record an error wrapping core.ErrAborted.
+//
+// When the planner's Options carry a Tracer, the run degrades to one
+// worker: tracers observe a single search at a time and are not
+// goroutine-safe.
+func (pl *Planner) RunParallel(ctx context.Context, workers int, specs []NetSpec) (*Plan, error) {
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	if pl.opts.Trace != nil {
+		workers = 1
+	}
+	workers = engine.Workers(workers, len(specs))
+	start := time.Now()
+	nets := engine.Map(ctx, workers, len(specs), func(ctx context.Context, i int) NetResult {
+		return pl.RouteNetContext(ctx, specs[i])
+	})
+	plan := &Plan{Floorplan: pl.fp, Grid: pl.g, Model: pl.m, Nets: nets}
+	plan.Stats = PlanStats{Workers: workers, Elapsed: time.Since(start)}
+	for _, n := range nets {
+		plan.Stats.TotalConfigs += n.Configs
+		if n.MaxQSize > plan.Stats.MaxQSize {
+			plan.Stats.MaxQSize = n.MaxQSize
+		}
+	}
+	return plan, nil
 }
 
 // PlanNetsExclusive routes the nets in order on a private copy of the grid,
 // reserving each successful route's resources before the next net runs:
 // its grid edges become unavailable (the tracks are taken) and its element
 // sites become obstacles. Later nets therefore detour around earlier ones —
-// a simple sequential congestion model. Net ordering matters; callers
-// typically sort by criticality.
+// a simple sequential congestion model. Net ordering matters (callers
+// typically sort by criticality), so this path is inherently serial.
 func (pl *Planner) PlanNetsExclusive(specs []NetSpec) (*Plan, error) {
-	return pl.plan(specs, true)
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	work := &Planner{fp: pl.fp, g: pl.g.Clone(), m: pl.m, tc: pl.tc, opts: pl.opts}
+	start := time.Now()
+	plan := &Plan{Floorplan: work.fp, Grid: work.g, Model: work.m}
+	plan.Stats.Workers = 1
+	for _, s := range specs {
+		res := work.RouteNet(s)
+		plan.Nets = append(plan.Nets, res)
+		plan.Stats.TotalConfigs += res.Configs
+		if res.MaxQSize > plan.Stats.MaxQSize {
+			plan.Stats.MaxQSize = res.MaxQSize
+		}
+		if res.Err == nil {
+			reserve(work.g, res.Path)
+		}
+	}
+	plan.Stats.Elapsed = time.Since(start)
+	return plan, nil
 }
 
-func (pl *Planner) plan(specs []NetSpec, exclusive bool) (*Plan, error) {
+// validateSpecs rejects structurally bad net lists before any routing runs.
+func validateSpecs(specs []NetSpec) error {
 	if len(specs) == 0 {
-		return nil, errors.New("planner: no nets")
+		return errors.New("planner: no nets")
 	}
 	seen := make(map[string]bool, len(specs))
 	for _, s := range specs {
 		if s.Name == "" {
-			return nil, errors.New("planner: net with empty name")
+			return errors.New("planner: net with empty name")
 		}
 		if seen[s.Name] {
-			return nil, fmt.Errorf("planner: duplicate net name %q", s.Name)
+			return fmt.Errorf("planner: duplicate net name %q", s.Name)
 		}
 		seen[s.Name] = true
 	}
-	work := pl
-	if exclusive {
-		work = &Planner{fp: pl.fp, g: pl.g.Clone(), m: pl.m, opts: pl.opts}
-	}
-	plan := &Plan{Floorplan: work.fp, Grid: work.g, Model: work.m}
-	for _, s := range specs {
-		res := work.RouteNet(s)
-		plan.Nets = append(plan.Nets, res)
-		if exclusive && res.Err == nil {
-			reserve(work.g, res.Path)
-		}
-	}
-	return plan, nil
+	return nil
 }
 
 // reserve removes a routed path's resources from g: every edge the path
