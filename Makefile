@@ -1,7 +1,7 @@
 # Tier-1 gate: everything must build, vet clean, and pass the full test
-# suite under the race detector (the parallel planner engine makes -race
-# load-bearing, not optional).
-.PHONY: tier1 build vet test race bench tables
+# suite under the race detector (the parallel planner engine and the
+# telemetry sinks make -race load-bearing, not optional).
+.PHONY: tier1 build vet test race bench bench-telemetry obs-demo tables
 
 tier1: build vet race
 
@@ -21,6 +21,19 @@ race:
 # the parallel batch-routing benchmark.
 bench:
 	go test -run xxx -bench . -benchtime 1x .
+
+# Price the observability layer: BenchmarkRBP at telemetry off/ring/metrics
+# with allocation reporting, recorded as JSON for regression tracking.
+bench-telemetry:
+	go test -run xxx -bench BenchmarkRBP -benchmem -benchtime 10x -json . > BENCH_telemetry.json
+	@grep -o '"Output":"[^"]*/op[^"]*' BENCH_telemetry.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+
+# End-to-end observability demo: route the SoC25mm batch with the live
+# /metrics + pprof server and a JSONL trace of every search and net span.
+obs-demo:
+	go run ./cmd/planner -workers 4 -metrics-addr 127.0.0.1:9090 -trace obs-trace.jsonl
+	@echo "--- first trace lines ---"
+	@head -n 5 obs-trace.jsonl
 
 # Regenerate the paper tables at reduced scale.
 tables:

@@ -19,6 +19,7 @@ import (
 	"clockroute/internal/mazeroute"
 	"clockroute/internal/mcfifo"
 	"clockroute/internal/tech"
+	"clockroute/internal/telemetry"
 	"clockroute/internal/wavefront"
 )
 
@@ -307,6 +308,39 @@ func BenchmarkExtension_MultiSizeLibrary(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkRBP is the headline single-search benchmark, run through the
+// unified Route entry point at each telemetry setting. Run with -benchmem:
+// the "off" row is the allocation budget the observability layer must not
+// touch (the nil-sink fast path), and the ring/metrics rows price the
+// enabled overhead quoted in DESIGN.md.
+func BenchmarkRBP(b *testing.B) {
+	prob := reducedProblem(b)
+	ctx := context.Background()
+	run := func(b *testing.B, opts core.Options) {
+		b.ReportAllocs()
+		var configs int
+		for n := 0; n < b.N; n++ {
+			res, err := core.Route(ctx, prob, core.Request{
+				Kind: core.KindRBP, PeriodPS: 300, Options: opts,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			configs = res.Stats.Configs
+		}
+		b.ReportMetric(float64(configs), "configs/op")
+	}
+	b.Run("telemetry=off", func(b *testing.B) {
+		run(b, core.Options{})
+	})
+	b.Run("telemetry=ring", func(b *testing.B) {
+		run(b, core.Options{Telemetry: telemetry.NewRing(4096)})
+	})
+	b.Run("telemetry=metrics", func(b *testing.B) {
+		run(b, core.Options{Telemetry: telemetry.NewMetrics()})
 	})
 }
 

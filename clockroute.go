@@ -60,6 +60,7 @@ package clockroute
 
 import (
 	"context"
+	"io"
 
 	"clockroute/internal/candidate"
 	"clockroute/internal/core"
@@ -72,6 +73,7 @@ import (
 	"clockroute/internal/planner"
 	"clockroute/internal/route"
 	"clockroute/internal/tech"
+	"clockroute/internal/telemetry"
 	"clockroute/internal/wavefront"
 )
 
@@ -330,3 +332,45 @@ func FIFOFromResult(res *Result, Ts, Tt float64, depth int) (FIFOConfig, error) 
 // reached every node; pass it via Options.Trace and render with its
 // Render/Summary methods.
 func NewWavefrontRecorder(g *Grid) *WavefrontRecorder { return wavefront.NewRecorder(g) }
+
+// Observability. Options.Telemetry accepts any TelemetrySink; the sinks
+// below compose with Route, Planner.RunParallel, and the CLIs'
+// -metrics-addr endpoints. See the "Observability" section of DESIGN.md
+// for the event schema and metric names.
+type (
+	// TelemetrySink receives structured span events (searches, wavefronts,
+	// batch nets). Implementations must be goroutine-safe.
+	TelemetrySink = telemetry.Sink
+	// TelemetryEvent is one record of the trace stream.
+	TelemetryEvent = telemetry.Event
+	// TelemetryEventKind discriminates trace events.
+	TelemetryEventKind = telemetry.EventKind
+	// Metrics is the atomic registry of routing counters; it is itself a
+	// TelemetrySink and exports via expvar (Publish).
+	Metrics = telemetry.Metrics
+	// ProgressTracker is a TelemetrySink maintaining an in-flight-net
+	// snapshot (the /progress endpoint payload).
+	ProgressTracker = telemetry.Progress
+)
+
+// NewJSONLSink returns a sink writing one JSON event per line to w,
+// sequence-numbered in emission order.
+func NewJSONLSink(w io.Writer) *telemetry.JSONL { return telemetry.NewJSONL(w) }
+
+// NewRingSink returns a sink retaining the last n events for post-mortem
+// dumps.
+func NewRingSink(n int) *telemetry.Ring { return telemetry.NewRing(n) }
+
+// MultiSink broadcasts every event to all given sinks, skipping nils.
+func MultiSink(sinks ...TelemetrySink) TelemetrySink { return telemetry.Multi(sinks...) }
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return telemetry.NewMetrics() }
+
+// DefaultMetrics returns the process-wide registry, published to expvar as
+// "clockroute" on first use.
+func DefaultMetrics() *Metrics { return telemetry.Default() }
+
+// SynchronizedTracer wraps a Tracer so it can be shared across concurrent
+// searches (see the Tracer concurrency contract in Options.Trace).
+func SynchronizedTracer(t Tracer) Tracer { return core.SynchronizedTracer(t) }

@@ -2,6 +2,7 @@ package clockroute_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -158,6 +159,47 @@ func TestPublicAPIRandomFloorplan(t *testing.T) {
 	}
 	if _, err := fp.BuildGrid(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicAPITelemetry exercises the observability re-exports end to
+// end: a JSONL + ring + metrics fan-out observing a facade-level Route.
+func TestPublicAPITelemetry(t *testing.T) {
+	g := clockroute.NewGrid(41, 5, 0.5)
+	tc := clockroute.DefaultTech()
+	prob, err := clockroute.NewProblem(g, tc, clockroute.Pt(0, 2), clockroute.Pt(40, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	jsonl := clockroute.NewJSONLSink(&buf)
+	ring := clockroute.NewRingSink(64)
+	metrics := clockroute.NewMetrics()
+	res, err := clockroute.Route(context.Background(), prob, clockroute.Request{
+		Kind: clockroute.KindRBP, PeriodPS: 400,
+		Options: clockroute.Options{Telemetry: clockroute.MultiSink(jsonl, ring, metrics)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines < 3 || ring.Len() != lines {
+		t.Errorf("JSONL wrote %d events, ring holds %d; want >=3 and equal", lines, ring.Len())
+	}
+	if !strings.Contains(buf.String(), `"kind":"search_end"`) {
+		t.Error("trace missing the search_end span")
+	}
+	if got := metrics.Configs.Value(); got != int64(res.Stats.Configs) {
+		t.Errorf("metrics saw %d configs, result has %d", got, res.Stats.Configs)
+	}
+	if clockroute.DefaultMetrics() == nil {
+		t.Error("DefaultMetrics must return the process registry")
+	}
+	if clockroute.MultiSink() != nil {
+		t.Error("empty MultiSink must collapse to nil (the free path)")
 	}
 }
 

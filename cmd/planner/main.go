@@ -8,13 +8,20 @@
 //	planner -pitch 0.125 -clock 350
 //	planner -seed 7 -random 8  # a seeded random floorplan instead
 //	planner -workers 8 -timeout 2s
+//	planner -metrics-addr :9090 -trace run.jsonl -v
+//
+// With -metrics-addr the process serves live observability endpoints while
+// the batch runs: /metrics (expvar JSON including the clockroute registry),
+// /progress (in-flight nets per worker), and /debug/pprof/*. With -trace
+// every span event (net_queued/net_start/net_end, search_start/wave_start/
+// search_end) is appended to the given JSONL file, replayable post-run.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -23,21 +30,32 @@ import (
 	"clockroute/internal/floorplan"
 	"clockroute/internal/planner"
 	"clockroute/internal/tech"
+	"clockroute/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("planner: ")
-
 	var (
-		pitch   = flag.Float64("pitch", 0.25, "planning grid pitch in mm")
-		clock   = flag.Float64("clock", 500, "chip clock period in ps for blocks without a local clock")
-		random  = flag.Int("random", 0, "use a random floorplan with this many blocks instead of the SoC demo")
-		seed    = flag.Int64("seed", 1, "seed for -random")
-		workers = flag.Int("workers", 0, "concurrent net searches (0 = GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 0, "abort routing after this long (0 = unlimited)")
+		pitch       = flag.Float64("pitch", 0.25, "planning grid pitch in mm")
+		clock       = flag.Float64("clock", 500, "chip clock period in ps for blocks without a local clock")
+		random      = flag.Int("random", 0, "use a random floorplan with this many blocks instead of the SoC demo")
+		seed        = flag.Int64("seed", 1, "seed for -random")
+		workers     = flag.Int("workers", 0, "concurrent net searches (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "abort routing after this long (0 = unlimited)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /progress, and /debug/pprof on this address (empty = off)")
+		traceFile   = flag.String("trace", "", "append JSONL span events to this file (empty = off)")
+		verbose     = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	fail := func(msg string, err error) {
+		log.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	var v cliutil.Validator
 	v.Positive("pitch", *pitch)
@@ -51,6 +69,42 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability wiring: every enabled consumer — the expvar-published
+	// metrics registry, the /progress tracker, the JSONL trace, and a
+	// post-mortem ring dumped when nets fail — taps the same event stream.
+	var (
+		sinks    []telemetry.Sink
+		progress *telemetry.Progress
+		ring     = telemetry.NewRing(256)
+		jsonl    *telemetry.JSONL
+	)
+	sinks = append(sinks, ring)
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail("trace file", err)
+		}
+		defer f.Close()
+		jsonl = telemetry.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+		log.Info("tracing spans", "file", *traceFile)
+	}
+	if *metricsAddr != "" {
+		progress = telemetry.NewProgress()
+		sinks = append(sinks, telemetry.Default(), progress)
+		srv, err := telemetry.NewServer(*metricsAddr, progress)
+		if err != nil {
+			fail("metrics server", err)
+		}
+		defer srv.Close()
+		srv.Start()
+		log.Info("observability endpoints up",
+			"metrics", "http://"+srv.Addr()+"/metrics",
+			"progress", "http://"+srv.Addr()+"/progress",
+			"pprof", "http://"+srv.Addr()+"/debug/pprof/")
+	}
+	opts := core.Options{Telemetry: telemetry.Multi(sinks...)}
+
 	var fp *floorplan.Floorplan
 	var err error
 	if *random > 0 {
@@ -60,12 +114,12 @@ func main() {
 		fp, err = floorplan.SoC25mm(*pitch)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fail("floorplan", err)
 	}
 
-	pl, err := planner.New(fp, tech.CongPan70nm(), core.Options{})
+	pl, err := planner.New(fp, tech.CongPan70nm(), opts)
 	if err != nil {
-		log.Fatal(err)
+		fail("planner", err)
 	}
 
 	var specs []planner.NetSpec
@@ -77,7 +131,7 @@ func main() {
 				planner.Endpoint{Block: from.Name, Side: floorplan.SideEast},
 				planner.Endpoint{Block: to.Name, Side: floorplan.SideWest}, *clock)
 			if err != nil {
-				log.Printf("skipping %s-%s: %v", from.Name, to.Name, err)
+				log.Warn("skipping net", "from", from.Name, "to", to.Name, "err", err)
 				continue
 			}
 			specs = append(specs, s)
@@ -95,14 +149,16 @@ func main() {
 		} {
 			s, err := planner.NetBetween(fp, nd.name, nd.from, nd.to, *clock)
 			if err != nil {
-				log.Fatal(err)
+				fail("net spec", err)
 			}
 			specs = append(specs, s)
 		}
 	}
 	if len(specs) == 0 {
-		log.Fatal("no routable nets")
+		log.Error("no routable nets")
+		os.Exit(1)
 	}
+	log.Debug("netlist built", "nets", len(specs), "pitch_mm", *pitch)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -112,14 +168,27 @@ func main() {
 	}
 	plan, err := pl.RunParallel(ctx, *workers, specs)
 	if err != nil {
-		log.Fatal(err)
+		fail("planning", err)
 	}
 	if err := plan.WriteReport(os.Stdout); err != nil {
-		log.Fatal(err)
+		fail("report", err)
 	}
 	fmt.Printf("\ntotal routed wire %.1f mm across %d nets (%d failed)\n",
-		plan.TotalWireMM(), len(plan.Nets), len(plan.Failed()))
+		plan.TotalWireMM(), len(plan.Nets), plan.Stats.NetsFailed)
 	fmt.Printf("%d workers, %d configs total, peak queue %d, wall %v\n",
 		plan.Stats.Workers, plan.Stats.TotalConfigs, plan.Stats.MaxQSize,
 		plan.Stats.Elapsed.Round(time.Millisecond))
+
+	if failed := plan.Failed(); len(failed) > 0 {
+		for _, n := range failed {
+			log.Error("net failed", "net", n.Spec.Name, "err", n.Err)
+		}
+		log.Info("post-mortem: last trace events follow", "events", ring.Len())
+		ring.Dump(os.Stderr)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fail("trace", err)
+		}
+	}
 }

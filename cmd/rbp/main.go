@@ -12,7 +12,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"clockroute/internal/cliutil"
@@ -21,13 +21,11 @@ import (
 	"clockroute/internal/grid"
 	"clockroute/internal/route"
 	"clockroute/internal/tech"
+	"clockroute/internal/telemetry"
 	"clockroute/internal/wavefront"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rbp: ")
-
 	var (
 		gridSize                         = flag.String("grid", "101x101", "grid size WxH in nodes")
 		pitch                            = flag.Float64("pitch", 0.25, "grid pitch in mm")
@@ -37,12 +35,20 @@ func main() {
 		render                           = flag.Bool("render", false, "print the wavefront/path map")
 		variant                          = flag.String("variant", "two-queue", "implementation: two-queue | array")
 		timeout                          = flag.Duration("timeout", 0, "abort the search after this long (0 = unlimited)")
+		metricsAddr                      = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
+		traceFile                        = flag.String("trace", "", "append JSONL span events to this file (empty = off)")
 		obstacles, wireblocks, regblocks cliutil.RectList
 	)
 	flag.Var(&obstacles, "obstacle", "physical obstacle rect x0,y0,x1,y1 (repeatable)")
 	flag.Var(&wireblocks, "wireblock", "wiring blockage rect (repeatable)")
 	flag.Var(&regblocks, "regblock", "register blockage rect (repeatable)")
 	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fail := func(msg string, err error) {
+		log.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	usage := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
@@ -79,7 +85,7 @@ func main() {
 
 	g, err := grid.New(w, h, *pitch)
 	if err != nil {
-		log.Fatal(err)
+		fail("grid", err)
 	}
 	for _, r := range obstacles {
 		g.AddObstacle(r)
@@ -94,11 +100,11 @@ func main() {
 	tc := tech.CongPan70nm()
 	m, err := elmore.NewModel(tc, *pitch)
 	if err != nil {
-		log.Fatal(err)
+		fail("delay model", err)
 	}
 	prob, err := core.NewProblem(g, m, g.ID(src), g.ID(dst))
 	if err != nil {
-		log.Fatal(err)
+		fail("problem", err)
 	}
 
 	opts := core.Options{}
@@ -107,6 +113,34 @@ func main() {
 		rec = wavefront.NewRecorder(g)
 		opts.Trace = rec
 	}
+
+	// Observability: a JSONL trace of the search's spans and, with
+	// -metrics-addr, live /metrics (expvar) and /debug/pprof endpoints.
+	var sinks []telemetry.Sink
+	var jsonl *telemetry.JSONL
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail("trace file", err)
+		}
+		defer f.Close()
+		jsonl = telemetry.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+		log.Info("tracing spans", "file", *traceFile)
+	}
+	if *metricsAddr != "" {
+		sinks = append(sinks, telemetry.Default())
+		srv, err := telemetry.NewServer(*metricsAddr, nil)
+		if err != nil {
+			fail("metrics server", err)
+		}
+		defer srv.Close()
+		srv.Start()
+		log.Info("observability endpoints up",
+			"metrics", "http://"+srv.Addr()+"/metrics",
+			"pprof", "http://"+srv.Addr()+"/debug/pprof/")
+	}
+	opts.Telemetry = telemetry.Multi(sinks...)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -121,10 +155,15 @@ func main() {
 		Options:     opts,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fail("routing", err)
 	}
 	if _, err := route.VerifySingleClock(res.Path, g, m, *period); err != nil {
-		log.Fatalf("verification failed: %v", err)
+		fail("verification failed", err)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fail("trace", err)
+		}
 	}
 
 	fmt.Printf("period       %.0f ps\n", *period)
@@ -141,7 +180,7 @@ func main() {
 	if rec != nil {
 		fmt.Println()
 		if err := rec.Render(os.Stdout, res.Path); err != nil {
-			log.Fatal(err)
+			fail("render", err)
 		}
 	}
 }

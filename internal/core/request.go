@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"clockroute/internal/telemetry"
 )
 
 // Kind selects one of the published algorithms for Route.
@@ -55,6 +57,11 @@ type Request struct {
 // context aborts the search promptly with an error wrapping both ErrAborted
 // and the context's error. FastPath, RBP, and GALS remain available as
 // direct calls for context-free use.
+//
+// When Options.Telemetry carries a sink, Route brackets the run with
+// search_start/search_end events (the end event carries the Stats counters
+// and the abort cause) and emits wave_start per wavefront; with a nil sink
+// this path adds no work and no allocation.
 func Route(ctx context.Context, p *Problem, req Request) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -63,6 +70,38 @@ func Route(ctx context.Context, p *Problem, req Request) (*Result, error) {
 		return nil, fmt.Errorf("%w: %w", ErrAborted, err)
 	}
 	opts := withContext(ctx, req.Options)
+	if opts.Telemetry == nil {
+		return dispatch(p, req, opts)
+	}
+
+	// Instrumented path: bracket the run with search_start/search_end and
+	// tee wave_start events off the existing Tracer call sites. Everything
+	// here is reached only with a sink installed, keeping the zero-value
+	// path allocation-free.
+	algo := req.Kind.String()
+	sink := opts.Telemetry
+	sink.Emit(telemetry.Event{Kind: telemetry.EventSearchStart, TimeNS: telemetry.Now(), Algo: algo})
+	opts.Trace = &waveTee{prev: opts.Trace, sink: sink, algo: algo}
+	res, err := dispatch(p, req, opts)
+	end := telemetry.Event{Kind: telemetry.EventSearchEnd, TimeNS: telemetry.Now(), Algo: algo}
+	if err != nil {
+		end.Err = err.Error()
+	}
+	if res != nil {
+		end.LatencyPS = res.Latency
+		end.Configs = res.Stats.Configs
+		end.Pushed = res.Stats.Pushed
+		end.Pruned = res.Stats.Pruned
+		end.Waves = res.Stats.Waves
+		end.MaxQSize = res.Stats.MaxQSize
+		end.ElapsedNS = res.Stats.Elapsed.Nanoseconds()
+	}
+	sink.Emit(end)
+	return res, err
+}
+
+// dispatch selects and runs the algorithm for req.
+func dispatch(p *Problem, req Request, opts Options) (*Result, error) {
 	switch req.Kind {
 	case KindFastPath:
 		return FastPath(p, opts)
@@ -79,6 +118,31 @@ func Route(ctx context.Context, p *Problem, req Request) (*Result, error) {
 		return GALS(p, req.SrcPeriodPS, req.DstPeriodPS, opts)
 	}
 	return nil, fmt.Errorf("core: unknown request kind %v", req.Kind)
+}
+
+// waveTee forwards Tracer callbacks to the previous tracer (if any) and
+// emits a wave_start event per wavefront. Visit stays event-free: it fires
+// per popped candidate, far too hot for a structured stream.
+type waveTee struct {
+	prev Tracer
+	sink telemetry.Sink
+	algo string
+}
+
+func (t *waveTee) WaveStart(wave int, latency float64) {
+	if t.prev != nil {
+		t.prev.WaveStart(wave, latency)
+	}
+	t.sink.Emit(telemetry.Event{
+		Kind: telemetry.EventWaveStart, TimeNS: telemetry.Now(),
+		Algo: t.algo, Wave: wave, LatencyPS: latency,
+	})
+}
+
+func (t *waveTee) Visit(wave, node int) {
+	if t.prev != nil {
+		t.prev.Visit(wave, node)
+	}
 }
 
 // withContext folds ctx's deadline and cancellation into a copy of opts.

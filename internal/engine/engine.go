@@ -39,6 +39,17 @@ func Workers(requested, n int) int {
 // order. Tasks are claimed from a shared counter, so long tasks do not
 // convoy behind short ones. Map returns only after every task has run.
 func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) T) []T {
+	return MapIndexed(ctx, workers, n, func(ctx context.Context, _, i int) T {
+		return fn(ctx, i)
+	})
+}
+
+// MapIndexed is Map with the claiming worker's index passed to fn
+// (0 <= worker < Workers(workers, n)). The worker index identifies the
+// goroutine, not the task: telemetry uses it to attribute per-net spans to
+// pool slots and to measure worker utilization. Determinism is unchanged —
+// results depend only on the task index.
+func MapIndexed[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, worker, i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {
 		return out
@@ -46,7 +57,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(ctx, i)
+			out[i] = fn(ctx, 0, i)
 		}
 		return out
 	}
@@ -55,16 +66,16 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(ctx, i)
+				out[i] = fn(ctx, worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out

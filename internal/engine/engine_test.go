@@ -34,6 +34,45 @@ func TestMapRunsEveryTaskExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestMapIndexedReportsWorkerIDs(t *testing.T) {
+	const workers, n = 5, 200
+	type slot struct{ worker, task int }
+	got := MapIndexed(context.Background(), workers, n, func(_ context.Context, w, i int) slot {
+		return slot{worker: w, task: i}
+	})
+	if len(got) != n {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]int{}
+	for i, s := range got {
+		if s.task != i {
+			t.Fatalf("result %d carries task %d: index determinism lost", i, s.task)
+		}
+		if s.worker < 0 || s.worker >= workers {
+			t.Fatalf("task %d ran on worker %d, want [0,%d)", i, s.worker, workers)
+		}
+		seen[s.worker]++
+	}
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	if total != n {
+		t.Errorf("worker attribution covers %d tasks, want %d", total, n)
+	}
+}
+
+func TestMapIndexedSingleWorkerIsZero(t *testing.T) {
+	got := MapIndexed(context.Background(), 1, 10, func(_ context.Context, w, i int) int {
+		return w
+	})
+	for i, w := range got {
+		if w != 0 {
+			t.Errorf("task %d saw worker %d on the serial path", i, w)
+		}
+	}
+}
+
 func TestMapBoundsConcurrency(t *testing.T) {
 	const workers = 3
 	var inFlight, peak atomic.Int32

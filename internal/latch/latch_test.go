@@ -54,6 +54,9 @@ func TestRouteOpenLineMatchesVerifier(t *testing.T) {
 		if res.Latches != res.Path.NumLatches() {
 			t.Errorf("T=%g: latch count mismatch", T)
 		}
+		if res.Stats.Elapsed <= 0 {
+			t.Errorf("T=%g: Stats.Elapsed unset — PlanStats/telemetry aggregation depends on it", T)
+		}
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"clockroute/internal/bench"
 	"clockroute/internal/core"
 	"clockroute/internal/planner"
+	"clockroute/internal/tech"
+	"clockroute/internal/telemetry"
 )
 
 // TestRunParallelMatchesSerial32Nets routes 32 mixed RBP/GALS nets on one
@@ -71,8 +73,147 @@ func TestRunParallelMatchesSerial32Nets(t *testing.T) {
 	if serial.Stats.TotalConfigs != par.Stats.TotalConfigs {
 		t.Errorf("aggregate configs diverged: %d vs %d", serial.Stats.TotalConfigs, par.Stats.TotalConfigs)
 	}
-	if par.Stats.TotalConfigs == 0 || par.Stats.MaxQSize == 0 || par.Stats.Elapsed <= 0 {
+	// Every summed effort counter is schedule-independent, so the parallel
+	// aggregates must be exactly the serial ones.
+	if serial.Stats.TotalPushed != par.Stats.TotalPushed ||
+		serial.Stats.TotalPruned != par.Stats.TotalPruned ||
+		serial.Stats.TotalWaves != par.Stats.TotalWaves ||
+		serial.Stats.NetsRouted != par.Stats.NetsRouted ||
+		serial.Stats.NetsFailed != par.Stats.NetsFailed {
+		t.Errorf("aggregate sums diverged: serial %+v vs parallel %+v", serial.Stats, par.Stats)
+	}
+	if par.Stats.NetsRouted != len(specs) || par.Stats.NetsFailed != 0 {
+		t.Errorf("outcome counts wrong: %+v", par.Stats)
+	}
+	if par.Stats.TotalConfigs == 0 || par.Stats.MaxQSize == 0 || par.Stats.Elapsed <= 0 ||
+		par.Stats.TotalPushed == 0 || par.Stats.TotalWaves == 0 {
 		t.Errorf("aggregate stats not populated: %+v", par.Stats)
+	}
+	for i := range par.Nets {
+		n := &par.Nets[i]
+		if n.Stats.Elapsed <= 0 || n.Elapsed <= 0 {
+			t.Errorf("net %q missing wall time: search %v, net %v", n.Spec.Name, n.Stats.Elapsed, n.Elapsed)
+		}
+		if n.Stats.Configs != n.Configs || n.Stats.MaxQSize != n.MaxQSize {
+			t.Errorf("net %q Stats/headline mismatch: %+v", n.Spec.Name, n)
+		}
+	}
+}
+
+// countingTracer counts callbacks without locking: shared across workers it
+// would race unless RunParallel fans it in through SynchronizedTracer.
+// Run with -race — this test is the regression for the shared-Tracer
+// data-race hazard.
+type countingTracer struct {
+	waves  int
+	visits int
+}
+
+func (c *countingTracer) WaveStart(int, float64) { c.waves++ }
+func (c *countingTracer) Visit(int, int)         { c.visits++ }
+
+func TestRunParallelSharedTracerIsFannedIn(t *testing.T) {
+	pl, specs, err := bench.SoCNetWorkload(1.0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr countingTracer
+	traced, err := planner.New(pl.Floorplan(), tech.CongPan70nm(), core.Options{Trace: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := traced.RunParallel(context.Background(), 8, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.Workers != 8 {
+		t.Fatalf("tracer forced workers to %d; fan-in must keep the pool", plan.Stats.Workers)
+	}
+	wantVisits := 0
+	for i := range plan.Nets {
+		wantVisits += plan.Nets[i].Stats.Configs
+	}
+	// The winning search of every net reports its pops; widths are nominal
+	// here so the tracer saw exactly those.
+	if tr.visits != wantVisits {
+		t.Errorf("fan-in lost visits: tracer %d, plans %d", tr.visits, wantVisits)
+	}
+	if tr.waves == 0 {
+		t.Error("tracer saw no waves")
+	}
+}
+
+// TestRunParallelEmitsNetSpans routes a batch with a telemetry sink and
+// checks the per-net span protocol: every net queued, started exactly once
+// with a valid worker id, and ended with its effort counters.
+func TestRunParallelEmitsNetSpans(t *testing.T) {
+	pl, specs, err := bench.SoCNetWorkload(1.0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := telemetry.NewRing(1 << 14)
+	metrics := telemetry.NewMetrics()
+	traced, err := planner.New(pl.Floorplan(), tech.CongPan70nm(),
+		core.Options{Telemetry: telemetry.Multi(ring, metrics)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := traced.RunParallel(context.Background(), 8, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queued := map[string]int{}
+	started := map[string]int{}
+	ended := map[string]int{}
+	searches := 0
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case telemetry.EventNetQueued:
+			queued[e.Net]++
+		case telemetry.EventNetStart:
+			started[e.Net]++
+			if e.Worker < 0 || e.Worker >= 8 {
+				t.Errorf("net %q started by worker %d", e.Net, e.Worker)
+			}
+		case telemetry.EventNetEnd:
+			ended[e.Net]++
+			if e.Configs == 0 || e.ElapsedNS <= 0 {
+				t.Errorf("net_end for %q missing effort: %+v", e.Net, e)
+			}
+			if e.Algo != "rbp" && e.Algo != "gals" {
+				t.Errorf("net_end for %q has algo %q", e.Net, e.Algo)
+			}
+		case telemetry.EventSearchStart:
+			searches++
+			if e.Net == "" {
+				t.Error("search event not labeled with its net")
+			}
+		}
+	}
+	for _, s := range specs {
+		if queued[s.Name] != 1 || started[s.Name] != 1 || ended[s.Name] != 1 {
+			t.Errorf("net %q spans: queued %d started %d ended %d, want 1/1/1",
+				s.Name, queued[s.Name], started[s.Name], ended[s.Name])
+		}
+	}
+	if searches < len(specs) {
+		t.Errorf("saw %d search spans for %d nets", searches, len(specs))
+	}
+
+	// The metrics registry consumed the same stream: its aggregates must
+	// match the plan's schedule-independent sums.
+	if got, want := metrics.Configs.Value(), int64(plan.Stats.TotalConfigs); got != want {
+		t.Errorf("metrics configs %d, plan %d", got, want)
+	}
+	if got := metrics.NetsDone.Value() + metrics.NetsFailed.Value(); got != int64(len(specs)) {
+		t.Errorf("metrics nets %d, want %d", got, len(specs))
+	}
+	if metrics.NetsInFlight.Value() != 0 {
+		t.Errorf("nets still in flight after the run: %d", metrics.NetsInFlight.Value())
+	}
+	if metrics.WorkerBusyNS.Value() <= 0 {
+		t.Error("worker busy-time not accumulated")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"clockroute/internal/grid"
 	"clockroute/internal/route"
 	"clockroute/internal/tech"
+	"clockroute/internal/telemetry"
 )
 
 // Mode identifies which algorithm routed a net.
@@ -110,6 +111,9 @@ type NetResult struct {
 	Configs   int
 	// MaxQSize is the peak queue size of the winning search.
 	MaxQSize int
+	// Stats is the winning search's full effort record (Configs and
+	// MaxQSize above are its headline columns, kept for the report path).
+	Stats core.Stats
 	// Elapsed is this net's wall time, covering every wire width tried.
 	Elapsed time.Duration
 	// WireWidth is the chosen wire width multiple (1 = nominal).
@@ -123,11 +127,36 @@ type PlanStats struct {
 	Workers int
 	// TotalConfigs sums the configurations investigated across all nets.
 	TotalConfigs int
+	// TotalPushed / TotalPruned / TotalWaves sum the remaining effort
+	// counters of every net's winning search. All Total* sums are
+	// schedule-independent: a parallel run reports exactly the serial sums.
+	TotalPushed int
+	TotalPruned int
+	TotalWaves  int
 	// MaxQSize is the largest per-net peak queue size.
 	MaxQSize int
+	// NetsRouted / NetsFailed split the nets by outcome.
+	NetsRouted int
+	NetsFailed int
 	// Elapsed is the wall time of the whole plan; with workers > 1 it is
 	// less than the sum of the per-net Elapsed times.
 	Elapsed time.Duration
+}
+
+// add folds one net result into the aggregate.
+func (s *PlanStats) add(n *NetResult) {
+	if n.Err != nil {
+		s.NetsFailed++
+	} else {
+		s.NetsRouted++
+	}
+	s.TotalConfigs += n.Configs
+	s.TotalPushed += n.Stats.Pushed
+	s.TotalPruned += n.Stats.Pruned
+	s.TotalWaves += n.Stats.Waves
+	if n.MaxQSize > s.MaxQSize {
+		s.MaxQSize = n.MaxQSize
+	}
 }
 
 // Plan is the set of routed nets over one floorplan.
@@ -187,6 +216,10 @@ func NewFromGrid(g *grid.Grid, tc *tech.Tech, opts core.Options) (*Planner, erro
 // Grid exposes the materialized routing grid (read-only by convention).
 func (pl *Planner) Grid() *grid.Grid { return pl.g }
 
+// Floorplan exposes the floorplan the planner was built from; nil when the
+// planner came from NewFromGrid.
+func (pl *Planner) Floorplan() *floorplan.Floorplan { return pl.fp }
+
 // Model exposes the bound delay model.
 func (pl *Planner) Model() *elmore.Model { return pl.m }
 
@@ -228,6 +261,13 @@ func (pl *Planner) RouteNet(spec NetSpec) NetResult {
 // (core.Route), so an expired context records an error wrapping
 // core.ErrAborted in the result instead of blocking until exhaustion.
 func (pl *Planner) RouteNetContext(ctx context.Context, spec NetSpec) NetResult {
+	return pl.routeNet(ctx, spec, pl.opts)
+}
+
+// routeNet routes one net with an explicit option set — RunParallel clones
+// the planner's options per net to label telemetry with the net name and
+// worker index without mutating shared state.
+func (pl *Planner) routeNet(ctx context.Context, spec NetSpec, opts core.Options) NetResult {
 	start := time.Now()
 	widths := spec.WireWidths
 	if len(widths) == 0 {
@@ -235,7 +275,7 @@ func (pl *Planner) RouteNetContext(ctx context.Context, spec NetSpec) NetResult 
 	}
 	best := NetResult{Spec: spec, Err: fmt.Errorf("planner: net %q: no widths", spec.Name)}
 	for _, w := range widths {
-		res := pl.routeNetAtWidth(ctx, spec, w)
+		res := pl.routeNetAtWidth(ctx, spec, w, opts)
 		if res.Err != nil {
 			if best.Err != nil {
 				best = res
@@ -253,7 +293,7 @@ func (pl *Planner) RouteNetContext(ctx context.Context, spec NetSpec) NetResult 
 	return best
 }
 
-func (pl *Planner) routeNetAtWidth(ctx context.Context, spec NetSpec, width float64) NetResult {
+func (pl *Planner) routeNetAtWidth(ctx context.Context, spec NetSpec, width float64, opts core.Options) NetResult {
 	out := NetResult{Spec: spec, WireWidth: width}
 	if spec.SrcPeriodPS <= 0 || spec.DstPeriodPS <= 0 {
 		out.Err = fmt.Errorf("planner: net %q: non-positive period", spec.Name)
@@ -274,7 +314,7 @@ func (pl *Planner) routeNetAtWidth(ctx context.Context, spec NetSpec, width floa
 		return out
 	}
 
-	req := core.Request{Options: pl.opts}
+	req := core.Request{Options: opts}
 	if spec.SrcPeriodPS == spec.DstPeriodPS {
 		out.Mode = ModeRBP
 		req.Kind, req.PeriodPS = core.KindRBP, spec.SrcPeriodPS
@@ -301,6 +341,7 @@ func (pl *Planner) routeNetAtWidth(ctx context.Context, spec NetSpec, width floa
 	out.Registers = res.Registers
 	out.Buffers = res.Buffers
 	out.WireMM = float64(res.Path.Len()) * pl.g.PitchMM()
+	out.Stats = res.Stats
 	out.Configs = res.Stats.Configs
 	out.MaxQSize = res.Stats.MaxQSize
 	if out.Mode == ModeRBP {
@@ -331,30 +372,69 @@ func (pl *Planner) PlanNets(specs []NetSpec) (*Plan, error) {
 // deadline/cancellation aborts in-flight and pending searches promptly;
 // aborted nets record an error wrapping core.ErrAborted.
 //
-// When the planner's Options carry a Tracer, the run degrades to one
-// worker: tracers observe a single search at a time and are not
-// goroutine-safe.
+// When the planner's Options carry a Tracer, the shared tracer is fanned
+// in through core.SynchronizedTracer so concurrent searches never race on
+// it; the merged observation interleaves nets in completion order. When
+// the Options carry a telemetry sink, every net's span events (net_queued,
+// net_start with the claiming worker, net_end with the effort counters and
+// failure cause) and its searches' events are emitted labeled with the net
+// name and worker index.
 func (pl *Planner) RunParallel(ctx context.Context, workers int, specs []NetSpec) (*Plan, error) {
 	if err := validateSpecs(specs); err != nil {
 		return nil, err
 	}
-	if pl.opts.Trace != nil {
-		workers = 1
-	}
 	workers = engine.Workers(workers, len(specs))
+	opts := pl.opts
+	if workers > 1 {
+		opts.Trace = core.SynchronizedTracer(opts.Trace)
+	}
+	sink := opts.Telemetry
+	if sink != nil {
+		for _, s := range specs {
+			sink.Emit(telemetry.Event{
+				Kind: telemetry.EventNetQueued, TimeNS: telemetry.Now(),
+				Net: s.Name, Worker: -1,
+			})
+		}
+	}
 	start := time.Now()
-	nets := engine.Map(ctx, workers, len(specs), func(ctx context.Context, i int) NetResult {
-		return pl.RouteNetContext(ctx, specs[i])
+	nets := engine.MapIndexed(ctx, workers, len(specs), func(ctx context.Context, worker, i int) NetResult {
+		if sink == nil {
+			return pl.routeNet(ctx, specs[i], opts)
+		}
+		return pl.routeNetTraced(ctx, specs[i], opts, worker)
 	})
 	plan := &Plan{Floorplan: pl.fp, Grid: pl.g, Model: pl.m, Nets: nets}
 	plan.Stats = PlanStats{Workers: workers, Elapsed: time.Since(start)}
-	for _, n := range nets {
-		plan.Stats.TotalConfigs += n.Configs
-		if n.MaxQSize > plan.Stats.MaxQSize {
-			plan.Stats.MaxQSize = n.MaxQSize
-		}
+	for i := range nets {
+		plan.Stats.add(&nets[i])
 	}
 	return plan, nil
+}
+
+// routeNetTraced wraps one net's routing in a net_start/net_end span, with
+// the plan's sink relabeled so every event carries the net and worker.
+func (pl *Planner) routeNetTraced(ctx context.Context, spec NetSpec, opts core.Options, worker int) NetResult {
+	netSink := telemetry.WithFields(opts.Telemetry, spec.Name, worker)
+	opts.Telemetry = netSink
+	netSink.Emit(telemetry.Event{Kind: telemetry.EventNetStart, TimeNS: telemetry.Now()})
+	res := pl.routeNet(ctx, spec, opts)
+	end := telemetry.Event{
+		Kind: telemetry.EventNetEnd, TimeNS: telemetry.Now(),
+		Algo:      string(res.Mode),
+		LatencyPS: res.LatencyPS,
+		Configs:   res.Configs,
+		Pushed:    res.Stats.Pushed,
+		Pruned:    res.Stats.Pruned,
+		Waves:     res.Stats.Waves,
+		MaxQSize:  res.MaxQSize,
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+	}
+	if res.Err != nil {
+		end.Err = res.Err.Error()
+	}
+	netSink.Emit(end)
+	return res
 }
 
 // PlanNetsExclusive routes the nets in order on a private copy of the grid,
@@ -374,10 +454,7 @@ func (pl *Planner) PlanNetsExclusive(specs []NetSpec) (*Plan, error) {
 	for _, s := range specs {
 		res := work.RouteNet(s)
 		plan.Nets = append(plan.Nets, res)
-		plan.Stats.TotalConfigs += res.Configs
-		if res.MaxQSize > plan.Stats.MaxQSize {
-			plan.Stats.MaxQSize = res.MaxQSize
-		}
+		plan.Stats.add(&res)
 		if res.Err == nil {
 			reserve(work.g, res.Path)
 		}

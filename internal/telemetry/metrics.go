@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (negative deltas are ignored).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (either sign).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Max raises the gauge to v if v is larger (a high-water mark).
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper edges: observation v lands in the first bucket with v <= bound,
+// or in the overflow bucket past the last bound. Observation is lock-free
+// (one atomic add per sample plus the sum accumulation).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending bucket bounds.
+// It panics on unsorted or empty bounds — bucket layout is a programming
+// decision, not runtime input.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must ascend")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n bounds growing geometrically from start by factor,
+// e.g. ExpBuckets(1, 2, 10) = 1, 2, 4, ... 512.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: v <= bound bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// BucketCount returns the count of bucket i (len(Bounds()) = overflow).
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+// Bounds returns the bucket upper edges.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// snapshot renders the histogram for expvar/JSON export.
+func (h *Histogram) snapshot() map[string]any {
+	buckets := make(map[string]int64, len(h.counts))
+	for i := range h.counts {
+		label := "+inf"
+		if i < len(h.bounds) {
+			label = fmt.Sprintf("%g", h.bounds[i])
+		}
+		if n := h.counts[i].Load(); n > 0 {
+			buckets["le_"+label] = n
+		}
+	}
+	return map[string]any{
+		"count":   h.Count(),
+		"sum":     h.Sum(),
+		"buckets": buckets,
+	}
+}
+
+// Metrics is the registry of the routing system's operational counters. It
+// doubles as a Sink: fed the event stream, it aggregates searches, effort
+// counters, per-net latency, and worker busy-time, so one instance can
+// serve as both the process-wide registry (see Default) and a per-run
+// scoreboard.
+type Metrics struct {
+	// Search-level counters (search_end events).
+	Searches     Counter // searches completed (any outcome)
+	SearchErrors Counter // searches ending in error or abort
+	Configs      Counter // candidates popped across all searches
+	Pushed       Counter // candidates pushed
+	Pruned       Counter // candidates rejected as dominated
+	Waves        Counter // wavefronts processed
+	MaxQSize     Gauge   // largest per-search peak queue size seen
+	// Net-level counters (net_* events).
+	NetsQueued   Counter
+	NetsInFlight Gauge
+	NetsDone     Counter
+	NetsFailed   Counter
+	// NetLatencyMS buckets each net's wall time in milliseconds.
+	NetLatencyMS *Histogram
+	// WorkerBusyNS accumulates time workers spent routing (net_end spans),
+	// the numerator of pool utilization.
+	WorkerBusyNS Counter
+
+	publish sync.Once
+}
+
+// NewMetrics builds a registry with the default latency bucket layout
+// (1 ms … ~16 s, doubling).
+func NewMetrics() *Metrics {
+	return &Metrics{NetLatencyMS: NewHistogram(ExpBuckets(1, 2, 15)...)}
+}
+
+// PruneRatio reports pruned / (pruned + pushed) — the fraction of generated
+// candidates the dominance store rejected. Zero before any search.
+func (m *Metrics) PruneRatio() float64 {
+	pr, pu := m.Pruned.Value(), m.Pushed.Value()
+	if pr+pu == 0 {
+		return 0
+	}
+	return float64(pr) / float64(pr+pu)
+}
+
+// Emit implements Sink, folding the event stream into the counters.
+func (m *Metrics) Emit(e Event) {
+	switch e.Kind {
+	case EventSearchEnd:
+		m.Searches.Inc()
+		if e.Err != "" {
+			m.SearchErrors.Inc()
+		}
+		m.Configs.Add(int64(e.Configs))
+		m.Pushed.Add(int64(e.Pushed))
+		m.Pruned.Add(int64(e.Pruned))
+		m.Waves.Add(int64(e.Waves))
+		m.MaxQSize.Max(int64(e.MaxQSize))
+	case EventNetQueued:
+		m.NetsQueued.Inc()
+	case EventNetStart:
+		m.NetsInFlight.Add(1)
+	case EventNetEnd:
+		m.NetsInFlight.Add(-1)
+		if e.Err != "" {
+			m.NetsFailed.Inc()
+		} else {
+			m.NetsDone.Inc()
+		}
+		m.WorkerBusyNS.Add(e.ElapsedNS)
+		if m.NetLatencyMS != nil {
+			m.NetLatencyMS.Observe(float64(e.ElapsedNS) / float64(time.Millisecond))
+		}
+	}
+}
+
+// Snapshot renders every metric as a plain map, the payload behind both
+// the expvar export and /metrics.
+func (m *Metrics) Snapshot() map[string]any {
+	out := map[string]any{
+		"searches":       m.Searches.Value(),
+		"search_errors":  m.SearchErrors.Value(),
+		"configs":        m.Configs.Value(),
+		"pushed":         m.Pushed.Value(),
+		"pruned":         m.Pruned.Value(),
+		"prune_ratio":    m.PruneRatio(),
+		"waves":          m.Waves.Value(),
+		"max_q_size":     m.MaxQSize.Value(),
+		"nets_queued":    m.NetsQueued.Value(),
+		"nets_in_flight": m.NetsInFlight.Value(),
+		"nets_done":      m.NetsDone.Value(),
+		"nets_failed":    m.NetsFailed.Value(),
+		"worker_busy_ns": m.WorkerBusyNS.Value(),
+	}
+	if m.NetLatencyMS != nil {
+		out["net_latency_ms"] = m.NetLatencyMS.snapshot()
+	}
+	return out
+}
+
+// Publish registers the registry with expvar under the given name (e.g.
+// "clockroute"), composing with anything else the process exports. Safe to
+// call more than once; only the first call registers.
+func (m *Metrics) Publish(name string) {
+	m.publish.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	})
+}
+
+var (
+	defaultMetrics     *Metrics
+	defaultMetricsOnce sync.Once
+)
+
+// Default returns the process-wide registry, created (and published to
+// expvar as "clockroute") on first use.
+func Default() *Metrics {
+	defaultMetricsOnce.Do(func() {
+		defaultMetrics = NewMetrics()
+		defaultMetrics.Publish("clockroute")
+	})
+	return defaultMetrics
+}

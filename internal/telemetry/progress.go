@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Progress is a Sink maintaining a live snapshot of the batch engine's
+// in-flight nets, the payload behind the /progress endpoint: which nets
+// are queued, which worker is routing what and for how long, and how many
+// finished or failed.
+type Progress struct {
+	mu       sync.Mutex
+	queued   int
+	done     int
+	failed   int
+	inflight map[string]netState
+}
+
+type netState struct {
+	worker  int
+	startNS int64
+}
+
+// NetProgress describes one in-flight net in a snapshot.
+type NetProgress struct {
+	Net     string  `json:"net"`
+	Worker  int     `json:"worker"`
+	Running float64 `json:"running_s"`
+}
+
+// Snapshot is the /progress payload.
+type Snapshot struct {
+	Queued   int           `json:"queued"`
+	InFlight []NetProgress `json:"in_flight"`
+	Done     int           `json:"done"`
+	Failed   int           `json:"failed"`
+}
+
+// NewProgress builds an empty tracker.
+func NewProgress() *Progress {
+	return &Progress{inflight: make(map[string]netState)}
+}
+
+// Emit implements Sink.
+func (p *Progress) Emit(e Event) {
+	switch e.Kind {
+	case EventNetQueued, EventNetStart, EventNetEnd:
+	default:
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case EventNetQueued:
+		p.queued++
+	case EventNetStart:
+		if p.queued > 0 {
+			p.queued--
+		}
+		p.inflight[e.Net] = netState{worker: e.Worker, startNS: e.TimeNS}
+	case EventNetEnd:
+		delete(p.inflight, e.Net)
+		if e.Err != "" {
+			p.failed++
+		} else {
+			p.done++
+		}
+	}
+}
+
+// Snapshot returns the current state; in-flight nets are sorted by name so
+// repeated polls are stable.
+func (p *Progress) Snapshot() Snapshot {
+	nowNS := time.Now().UnixNano()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Snapshot{Queued: p.queued, Done: p.done, Failed: p.failed}
+	for net, st := range p.inflight {
+		s.InFlight = append(s.InFlight, NetProgress{
+			Net:     net,
+			Worker:  st.worker,
+			Running: float64(nowNS-st.startNS) / float64(time.Second),
+		})
+	}
+	sort.Slice(s.InFlight, func(i, j int) bool { return s.InFlight[i].Net < s.InFlight[j].Net })
+	return s
+}

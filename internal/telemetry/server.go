@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in debug endpoint behind the CLIs' -metrics-addr flag.
+// It serves:
+//
+//	/metrics        expvar JSON (the published Metrics registries plus the
+//	                stdlib memstats/cmdline vars)
+//	/progress       the Progress tracker's in-flight snapshot
+//	/debug/pprof/*  the standard pprof profiles
+//
+// Handlers are mounted on a private mux, not http.DefaultServeMux, so
+// embedding applications keep control of their own routing.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer binds addr (e.g. ":9090", "127.0.0.1:0") and returns a server
+// ready to Start. progress may be nil, dropping the /progress route.
+func NewServer(addr string, progress *Progress) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", expvar.Handler())
+	if progress != nil {
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(progress.Snapshot())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &Server{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Start serves in a background goroutine and returns immediately.
+func (s *Server) Start() {
+	go s.srv.Serve(s.ln)
+}
+
+// Close shuts the listener down and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

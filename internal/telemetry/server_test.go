@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerEndpoints boots the debug server on an ephemeral port and
+// exercises /metrics, /progress, and /debug/pprof/.
+func TestServerEndpoints(t *testing.T) {
+	prog := NewProgress()
+	prog.Emit(Event{Kind: EventNetStart, Net: "cpu-dsp", Worker: 2, TimeNS: Now()})
+
+	srv, err := NewServer("127.0.0.1:0", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// /metrics is expvar JSON; the process-wide registry appears once
+	// Default() has been touched (any earlier test or this call).
+	Default()
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	if _, ok := metrics["clockroute"]; !ok {
+		t.Errorf("/metrics missing the clockroute registry: has %d keys", len(metrics))
+	}
+	if _, ok := metrics["memstats"]; !ok {
+		t.Error("/metrics missing stdlib memstats (expvar composition broken)")
+	}
+
+	code, body = get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress is not JSON: %v", err)
+	}
+	if len(snap.InFlight) != 1 || snap.InFlight[0].Net != "cpu-dsp" {
+		t.Errorf("/progress = %+v", snap)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get("/debug/pprof/symbol"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/symbol status %d", code)
+	}
+}
+
+func TestServerWithoutProgress(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	resp, err := http.Get("http://" + srv.Addr() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/progress without a tracker: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONL is a Sink writing one JSON object per line to an io.Writer. Writes
+// are serialized and sequence-numbered under a mutex, so the file's line
+// order is the emission order even when eight workers emit at once; the
+// Seq field makes that order checkable after interleaved buffering.
+//
+// Write errors are sticky: the first one is kept, later emissions become
+// no-ops, and Err reports it at the end of the run.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+	err error
+}
+
+// NewJSONL builds a JSONL sink over w. The caller owns w's lifetime
+// (closing files, flushing buffers).
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// Emit implements Sink.
+func (s *JSONL) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	e.Seq = s.seq
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.err = fmt.Errorf("telemetry: marshal event: %w", err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = fmt.Errorf("telemetry: write event: %w", err)
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONL) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Ring is a fixed-capacity Sink keeping the most recent events for
+// post-mortem dumps: attach it cheaply to every run and dump it only when
+// something goes wrong.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int // index of the next write
+	seq  uint64
+	full bool
+}
+
+// NewRing builds a ring holding the last n events (n < 1 is clamped to 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Len reports how many events are retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dump writes the retained events to w as JSONL, oldest first.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
