@@ -1,9 +1,10 @@
-# Tier-1 gate: everything must build, vet clean, and pass the full test
+# Tier-1 gate: everything must build, vet clean, pass the full test
 # suite under the race detector (the parallel planner engine and the
-# telemetry sinks make -race load-bearing, not optional).
-.PHONY: tier1 build vet test race bench bench-telemetry obs-demo tables
+# telemetry sinks make -race load-bearing, not optional), and survive a
+# short fuzzing pass over every decoder that accepts untrusted bytes.
+.PHONY: tier1 build vet test race fuzz-smoke bench bench-telemetry obs-demo tables
 
-tier1: build vet race
+tier1: build vet race fuzz-smoke
 
 build:
 	go build ./...
@@ -16,6 +17,19 @@ test:
 
 race:
 	go test -race ./...
+
+# Short fuzzing pass over every untrusted-input decoder: the netlist
+# loader, the candidate store, and the two service request decoders.
+# Each fuzzer gets FUZZTIME on top of its checked-in seed corpus; any
+# crasher fails the target. Regexes are anchored because ./api hosts two
+# fuzz functions and `go test -fuzz` demands a unique match.
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	go test -run xxx -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) ./internal/netlist
+	go test -run xxx -fuzz '^FuzzStoreInsert$$' -fuzztime $(FUZZTIME) ./internal/candidate
+	go test -run xxx -fuzz '^FuzzDecodeRouteRequest$$' -fuzztime $(FUZZTIME) ./api
+	go test -run xxx -fuzz '^FuzzDecodePlanRequest$$' -fuzztime $(FUZZTIME) ./api
 
 # Reduced-scale paper benchmarks (Tables I-III, figures, ablations) plus
 # the parallel batch-routing benchmark.

@@ -1,0 +1,87 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+const validRoute = `{"grid":{"w":16,"h":16,"pitch_mm":0.25},"kind":"rbp","period_ps":500,
+  "src":{"x":1,"y":1},"dst":{"x":14,"y":14}}`
+
+const validPlan = `{"grid":{"w":16,"h":16,"pitch_mm":0.25},
+  "nets":[{"name":"a","src":{"x":1,"y":1},"dst":{"x":14,"y":14},"src_period_ps":500,"dst_period_ps":500}]}`
+
+func TestDecodeRouteRequestValid(t *testing.T) {
+	req, err := DecodeRouteRequest(strings.NewReader(validRoute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != "rbp" || req.PeriodPS != 500 || req.Dst != (Point{14, 14}) {
+		t.Errorf("decoded %+v", req)
+	}
+}
+
+func TestDecodeRouteRequestRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty body":         ``,
+		"not json":           `bogus`,
+		"wrong top type":     `[1,2]`,
+		"null":               `null`,
+		"unknown field":      `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"rbp","period_ps":500,"src":{"x":0,"y":0},"dst":{"x":3,"y":3},"surprise":1}`,
+		"trailing data":      validRoute + ` {"again":true}`,
+		"missing kind":       `{"grid":{"w":4,"h":4,"pitch_mm":1},"src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`,
+		"bad kind":           `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"magic","src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`,
+		"rbp without period": `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"rbp","src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`,
+		"gals one period":    `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"gals","src_period_ps":500,"src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`,
+		"tiny grid":          `{"grid":{"w":1,"h":1,"pitch_mm":1},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":0,"y":0}}`,
+		"huge grid":          `{"grid":{"w":100000,"h":100000,"pitch_mm":0.1},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":9,"y":9}}`,
+		"zero pitch":         `{"grid":{"w":4,"h":4,"pitch_mm":0},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`,
+		"off-grid endpoint":  `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":9,"y":9}}`,
+		"src equals dst":     `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"fastpath","src":{"x":1,"y":1},"dst":{"x":1,"y":1}}`,
+		"negative timeout":   `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":3,"y":3},"timeout_ms":-5}`,
+		"negative budget":    `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":3,"y":3},"max_configs":-1}`,
+		"huge coordinate":    `{"grid":{"w":4,"h":4,"pitch_mm":1,"obstacles":[{"x0":99999999,"y0":0,"x1":0,"y1":0}]},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeRouteRequest(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodePlanRequestValid(t *testing.T) {
+	req, err := DecodePlanRequest(strings.NewReader(validPlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Nets) != 1 || req.Nets[0].Name != "a" {
+		t.Errorf("decoded %+v", req)
+	}
+}
+
+func TestDecodePlanRequestRejects(t *testing.T) {
+	cases := map[string]string{
+		"no nets":        `{"grid":{"w":4,"h":4,"pitch_mm":1},"nets":[]}`,
+		"empty name":     `{"grid":{"w":4,"h":4,"pitch_mm":1},"nets":[{"name":"","src":{"x":0,"y":0},"dst":{"x":3,"y":3},"src_period_ps":500,"dst_period_ps":500}]}`,
+		"duplicate name": `{"grid":{"w":4,"h":4,"pitch_mm":1},"nets":[{"name":"a","src":{"x":0,"y":0},"dst":{"x":3,"y":3},"src_period_ps":500,"dst_period_ps":500},{"name":"a","src":{"x":0,"y":1},"dst":{"x":3,"y":2},"src_period_ps":500,"dst_period_ps":500}]}`,
+		"zero period":    `{"grid":{"w":4,"h":4,"pitch_mm":1},"nets":[{"name":"a","src":{"x":0,"y":0},"dst":{"x":3,"y":3},"src_period_ps":0,"dst_period_ps":500}]}`,
+		"bad width":      `{"grid":{"w":4,"h":4,"pitch_mm":1},"nets":[{"name":"a","src":{"x":0,"y":0},"dst":{"x":3,"y":3},"src_period_ps":500,"dst_period_ps":500,"wire_widths":[0]}]}`,
+		"negative workers": `{"grid":{"w":4,"h":4,"pitch_mm":1},"workers":-1,
+		  "nets":[{"name":"a","src":{"x":0,"y":0},"dst":{"x":3,"y":3},"src_period_ps":500,"dst_period_ps":500}]}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodePlanRequest(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeOversizedBody(t *testing.T) {
+	// A syntactically valid body padded past MaxRequestBytes must be
+	// rejected, not decoded.
+	huge := `{"grid":{"w":4,"h":4,"pitch_mm":1},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":3,"y":3}}`
+	pad := strings.Repeat(" ", MaxRequestBytes)
+	if _, err := DecodeRouteRequest(strings.NewReader(pad + huge)); err == nil {
+		t.Error("oversized body accepted")
+	}
+}

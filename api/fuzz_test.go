@@ -1,0 +1,83 @@
+package api
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Seed corpus: the documented example requests plus structurally tricky
+// near-misses. Shared by both fuzzers so either can mutate toward the
+// other's shape.
+var fuzzSeeds = []string{
+	// The package-doc /v1/route example.
+	`{"grid":{"w":64,"h":64,"pitch_mm":0.25,"obstacles":[{"x0":10,"y0":10,"x1":20,"y1":20}]},
+	  "kind":"rbp","period_ps":500,"src":{"x":1,"y":1},"dst":{"x":60,"y":60},"timeout_ms":1000}`,
+	// The package-doc /v1/plan example.
+	`{"grid":{"w":64,"h":64,"pitch_mm":0.25},
+	  "nets":[{"name":"cpu-sram","src":{"x":1,"y":1},"dst":{"x":60,"y":60},
+	           "src_period_ps":500,"dst_period_ps":500,"wire_widths":[1,2]}],
+	  "workers":2,"timeout_ms":5000}`,
+	// GALS route.
+	`{"grid":{"w":32,"h":4,"pitch_mm":0.5},"kind":"gals","src_period_ps":400,"dst_period_ps":650,
+	  "src":{"x":0,"y":0},"dst":{"x":31,"y":3}}`,
+	`{}`,
+	`{"grid":{"w":2,"h":1,"pitch_mm":1},"kind":"fastpath","src":{"x":0,"y":0},"dst":{"x":1,"y":0}}`,
+	`{"grid":{"w":1000000000,"h":1000000000,"pitch_mm":0.1}}`,
+	`{"kind":"rbp","period_ps":1e999}`,
+	`not json at all`,
+	`{"grid":{"w":4,"h":4,"pitch_mm":0.5}} trailing`,
+	`[1,2,3]`,
+	`null`,
+}
+
+// fuzzDecode drives one decoder with arbitrary bytes: it must return a
+// value or an error — never panic — and must not leak goroutines.
+func fuzzDecode[T any](f *testing.F, decode func(*bytes.Reader) (T, error)) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	before := runtime.NumGoroutine()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, err := decode(bytes.NewReader(data))
+		_ = err // any error is fine; only a panic is a bug
+		if n := runtime.NumGoroutine(); n > before+20 {
+			// Generous slack for the fuzzer's own workers: the decoder
+			// itself must not spawn anything.
+			time.Sleep(50 * time.Millisecond)
+			if n = runtime.NumGoroutine(); n > before+20 {
+				t.Fatalf("goroutine leak: %d -> %d", before, n)
+			}
+		}
+	})
+}
+
+// FuzzDecodeRouteRequest fuzzes the /v1/route body decoder.
+func FuzzDecodeRouteRequest(f *testing.F) {
+	fuzzDecode(f, func(r *bytes.Reader) (*RouteRequest, error) { return DecodeRouteRequest(r) })
+}
+
+// FuzzDecodePlanRequest fuzzes the /v1/plan body decoder.
+func FuzzDecodePlanRequest(f *testing.F) {
+	fuzzDecode(f, func(r *bytes.Reader) (*PlanRequest, error) { return DecodePlanRequest(r) })
+}
+
+// TestDecodeAcceptedRoundTrips: anything the decoders accept must survive
+// an encode/decode round trip (the service echoes requests nowhere, but
+// the property pins the wire format as self-consistent).
+func TestDecodeAcceptedRoundTrips(t *testing.T) {
+	for _, s := range fuzzSeeds {
+		if req, err := DecodeRouteRequest(strings.NewReader(s)); err == nil {
+			if err := req.Validate(); err != nil {
+				t.Errorf("accepted route request fails re-validation: %v", err)
+			}
+		}
+		if req, err := DecodePlanRequest(strings.NewReader(s)); err == nil {
+			if err := req.Validate(); err != nil {
+				t.Errorf("accepted plan request fails re-validation: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package client is a small typed client for the routing service
+// (cmd/routed): it speaks the api package's wire format and retries
+// transient refusals — 429 load sheds and 503 drains — with exponential
+// backoff, honoring both the server's Retry-After hint and the caller's
+// context. Routing requests are pure computations, so retrying them is
+// always safe.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"clockroute/api"
+)
+
+// APIError is a non-2xx response from the service, carrying the decoded
+// error body.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("clockroute service: %d: %s", e.StatusCode, e.Message)
+}
+
+// Temporary reports whether retrying later may succeed (load shed or
+// drain).
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
+}
+
+// Option tunes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxAttempts caps total attempts per call, first try included
+// (default 4; values < 1 mean 1).
+func WithMaxAttempts(n int) Option { return func(c *Client) { c.maxAttempts = n } }
+
+// WithBackoff sets the base retry delay; attempt k waits base<<k, capped
+// at 30s, unless the server's Retry-After asks for more (default 100ms).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// Client calls one routing service instance. It is safe for concurrent
+// use.
+type Client struct {
+	baseURL     string
+	hc          *http.Client
+	maxAttempts int
+	backoff     time.Duration
+}
+
+// New builds a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL:     strings.TrimRight(baseURL, "/"),
+		hc:          &http.Client{Timeout: 5 * time.Minute},
+		maxAttempts: 4,
+		backoff:     100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.maxAttempts < 1 {
+		c.maxAttempts = 1
+	}
+	return c
+}
+
+// Route routes one net via POST /v1/route.
+func (c *Client) Route(ctx context.Context, req *api.RouteRequest) (*api.RouteResponse, error) {
+	var out api.RouteResponse
+	if err := c.post(ctx, "/v1/route", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Plan routes a batch via POST /v1/plan.
+func (c *Client) Plan(ctx context.Context, req *api.PlanRequest) (*api.PlanResponse, error) {
+	var out api.PlanResponse
+	if err := c.post(ctx, "/v1/plan", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// post runs one retrying request cycle against path.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, c.delay(attempt, lastErr)); err != nil {
+				return err
+			}
+		}
+		lastErr = c.once(ctx, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(lastErr, &apiErr) && !apiErr.Temporary() {
+			return lastErr // permanent: 400/422/500/504 don't improve on retry
+		}
+		if ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("client: giving up after %d attempts: %w", c.maxAttempts, lastErr)
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var e api.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = http.StatusText(resp.StatusCode)
+		}
+		if ra := retryAfter(resp); ra > 0 {
+			return &retryAfterError{APIError: apiErr, after: ra}
+		}
+		return apiErr
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// retryAfterError carries the server's Retry-After hint with the error.
+type retryAfterError struct {
+	*APIError
+	after time.Duration
+}
+
+func (e *retryAfterError) Unwrap() error { return e.APIError }
+
+// delay resolves the wait before the attempt-th try (attempt >= 1): the
+// server's Retry-After when given and larger, else exponential backoff.
+func (c *Client) delay(attempt int, lastErr error) time.Duration {
+	d := c.backoff << (attempt - 1)
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	var ra *retryAfterError
+	if errors.As(lastErr, &ra) && ra.after > d {
+		d = ra.after
+	}
+	return d
+}
+
+// retryAfter parses a Retry-After header in seconds (0 when absent).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(v)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
+}
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

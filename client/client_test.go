@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clockroute/api"
+	"clockroute/internal/server"
+	"clockroute/internal/telemetry"
+)
+
+func okRouteHandler(t *testing.T) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req api.RouteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("server got bad body: %v", err)
+		}
+		json.NewEncoder(w).Encode(api.RouteResponse{LatencyPS: 1000, Registers: 1})
+	}
+}
+
+func TestRouteSuccess(t *testing.T) {
+	ts := httptest.NewServer(okRouteHandler(t))
+	defer ts.Close()
+	c := New(ts.URL)
+	res, err := c.Route(context.Background(), &api.RouteRequest{Kind: "rbp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyPS != 1000 || res.Registers != 1 {
+		t.Errorf("decoded %+v", res)
+	}
+}
+
+// TestRetriesShedsThenSucceeds: 429s with Retry-After are retried until
+// the service recovers.
+func TestRetriesShedsThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ok := okRouteHandler(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: "saturated"})
+			return
+		}
+		ok(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	if _, err := c.Route(context.Background(), &api.RouteRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("%d calls, want 3 (two sheds, one success)", calls.Load())
+	}
+}
+
+// TestGivesUpAfterMaxAttempts: a permanently saturated service yields the
+// last APIError, marked temporary.
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "draining"})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithBackoff(time.Millisecond), WithMaxAttempts(3))
+	_, err := c.Route(context.Background(), &api.RouteRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if !apiErr.Temporary() {
+		t.Error("503 should be temporary")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("%d calls, want 3", calls.Load())
+	}
+}
+
+// TestPermanentErrorsAreNotRetried: 422 (infeasible) fails fast.
+func TestPermanentErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "no feasible routing solution"})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	_, err := c.Route(context.Background(), &api.RouteRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.Temporary() {
+		t.Error("422 must not be temporary")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("%d calls, want 1 (no retry)", calls.Load())
+	}
+}
+
+// TestBackoffHonorsContext: cancellation during a backoff sleep returns
+// promptly with the context error.
+func TestBackoffHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Route(ctx, &api.RouteRequest{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("client slept through the 30s Retry-After instead of honoring the context")
+	}
+}
+
+// TestClientAgainstRealServer closes the loop: the typed client against
+// the real service handler end to end.
+func TestClientAgainstRealServer(t *testing.T) {
+	svc := server.New(server.Config{Metrics: telemetry.NewMetrics()})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+	res, err := c.Route(context.Background(), &api.RouteRequest{
+		Grid:     api.GridSpec{W: 16, H: 16, PitchMM: 0.25},
+		Kind:     "rbp",
+		PeriodPS: 500,
+		Src:      api.Point{X: 1, Y: 1},
+		Dst:      api.Point{X: 14, Y: 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) == 0 {
+		t.Error("empty path")
+	}
+	plan, err := c.Plan(context.Background(), &api.PlanRequest{
+		Grid: api.GridSpec{W: 16, H: 16, PitchMM: 0.25},
+		Nets: []api.NetSpec{
+			{Name: "a", Src: api.Point{X: 1, Y: 1}, Dst: api.Point{X: 14, Y: 14}, SrcPeriodPS: 500, DstPeriodPS: 500},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Nets) != 1 || plan.Nets[0].Error != "" {
+		t.Errorf("plan %+v", plan)
+	}
+}

@@ -1,0 +1,154 @@
+// Command routed serves the routing system over HTTP/JSON: POST /v1/route
+// runs one search through the unified Route API, POST /v1/plan fans a
+// batch of nets through the parallel planner, and GET /healthz reports
+// admission state. The wire format is documented in the api package.
+//
+// Usage:
+//
+//	routed -addr :8080
+//	routed -addr :8080 -max-inflight 8 -max-queue 16 -request-timeout 10s
+//	routed -addr :8080 -metrics-addr 127.0.0.1:9090 -trace routed.jsonl -v
+//
+// Admission control sheds load with 429 + Retry-After once the in-flight
+// and queue limits are both full. On SIGINT/SIGTERM the server drains:
+// new requests get 503, in-flight searches finish (up to -drain-timeout,
+// after which they are aborted cooperatively), then the process exits.
+//
+// Try it:
+//
+//	curl -s http://localhost:8080/v1/route -d '{
+//	  "grid": {"w": 64, "h": 64, "pitch_mm": 0.25},
+//	  "kind": "rbp", "period_ps": 500,
+//	  "src": {"x": 1, "y": 1}, "dst": {"x": 60, "y": 60}
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clockroute/internal/cliutil"
+	"clockroute/internal/server"
+	"clockroute/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "service listen address")
+		maxInflight  = flag.Int("max-inflight", 0, "concurrent routing requests (0 = 2x GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "requests queued for a slot before shedding (0 = max-inflight)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "default per-request search deadline")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "ceiling on any requested deadline")
+		workers      = flag.Int("workers", 0, "max concurrent searches per /v1/plan batch (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight searches are aborted")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /progress, and /debug/pprof on this address (empty = off)")
+		traceFile    = flag.String("trace", "", "append JSONL span events to this file (empty = off)")
+		verbose      = flag.Bool("v", false, "debug-level logging")
+	)
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	fail := func(msg string, err error) {
+		log.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
+	var v cliutil.Validator
+	v.NonNegativeInt("max-inflight", *maxInflight)
+	v.NonNegativeInt("max-queue", *maxQueue)
+	v.NonNegativeInt("workers", *workers)
+	v.NonNegativeDuration("request-timeout", *reqTimeout)
+	v.NonNegativeDuration("max-timeout", *maxTimeout)
+	v.NonNegativeDuration("drain-timeout", *drainTimeout)
+	if err := v.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Observability wiring mirrors cmd/planner: the process-wide metrics
+	// registry always aggregates; -trace tees every span to JSONL; with
+	// -metrics-addr the live endpoints come up beside the service.
+	var extra []telemetry.Sink
+	var jsonl *telemetry.JSONL
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail("trace file", err)
+		}
+		defer f.Close()
+		jsonl = telemetry.NewJSONL(f)
+		extra = append(extra, jsonl)
+		log.Info("tracing spans", "file", *traceFile)
+	}
+	if *metricsAddr != "" {
+		progress := telemetry.NewProgress()
+		extra = append(extra, progress)
+		msrv, err := telemetry.NewServer(*metricsAddr, progress)
+		if err != nil {
+			fail("metrics server", err)
+		}
+		defer msrv.Close()
+		msrv.Start()
+		log.Info("observability endpoints up",
+			"metrics", "http://"+msrv.Addr()+"/metrics",
+			"progress", "http://"+msrv.Addr()+"/progress",
+			"pprof", "http://"+msrv.Addr()+"/debug/pprof/")
+	}
+
+	svc := server.New(server.Config{
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxWorkers:     *workers,
+		Metrics:        telemetry.Default(),
+		Sink:           telemetry.Multi(extra...),
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("routing service up", "addr", *addr)
+
+	select {
+	case err := <-errc:
+		fail("serve", err)
+	case <-ctx.Done():
+	}
+
+	log.Info("draining", "budget", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Warn("drain deadline passed, in-flight searches aborted", "err", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "err", err)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fail("trace", err)
+		}
+	}
+	log.Info("bye")
+}

@@ -1,0 +1,161 @@
+package core
+
+// Differential sweep against the 1-D oracle: on a W×1 grid the routing
+// topology is fixed, so RBP and the oracle's Pareto DP must agree exactly —
+// same minimum register count at every period, same infeasibility verdict,
+// and (for FastPath) the same minimum buffered delay. The two
+// implementations share no search code, so agreement across a seeded
+// random sweep of instances, periods, and blockage masks is strong
+// evidence of correctness for both. This extends the fixture-based
+// cross-checks (bench tables, mazeroute) to randomized coverage.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"clockroute/internal/elmore"
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+	"clockroute/internal/oracle"
+	"clockroute/internal/tech"
+)
+
+// lineInstance is one random W×1 case with its equivalent oracle line.
+type lineInstance struct {
+	g    *grid.Grid
+	line oracle.Line
+}
+
+// randomLine draws a W×1 grid and the matching oracle masks: an obstacle
+// forbids any insertion (BufOK and RegOK false), a register blockage
+// forbids clocked elements only. Endpoints stay clear — both solvers
+// require clocked endpoints.
+func randomLine(rng *rand.Rand) lineInstance {
+	edges := 2 + rng.Intn(47)
+	pitch := []float64{0.125, 0.25, 0.5, 1.0, 2.0}[rng.Intn(5)]
+	g := grid.MustNew(edges+1, 1, pitch)
+	bufOK := make([]bool, edges+1)
+	regOK := make([]bool, edges+1)
+	for i := range bufOK {
+		bufOK[i], regOK[i] = true, true
+	}
+	blockP := 0.0
+	if rng.Intn(2) == 0 {
+		blockP = 0.15
+	}
+	regBlockP := 0.0
+	if rng.Intn(2) == 0 {
+		regBlockP = 0.25
+	}
+	for x := 1; x < edges; x++ {
+		switch {
+		case rng.Float64() < blockP:
+			g.AddObstacle(geom.R(x, 0, x+1, 1))
+			bufOK[x], regOK[x] = false, false
+		case rng.Float64() < regBlockP:
+			g.AddRegisterBlockage(geom.R(x, 0, x+1, 1))
+			regOK[x] = false
+		}
+	}
+	return lineInstance{
+		g:    g,
+		line: oracle.Line{Edges: edges, PitchMM: pitch, BufOK: bufOK, RegOK: regOK},
+	}
+}
+
+func (li lineInstance) problem(t *testing.T, tc *tech.Tech) *Problem {
+	t.Helper()
+	m, err := elmore.NewModel(tc, li.g.PitchMM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(li.g, m, li.g.ID(geom.Pt(0, 0)), li.g.ID(geom.Pt(li.line.Edges, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRBPMatchesOracleSweep: >= 100 seeded random W×1 instances; RBP and
+// oracle.MinRegisters must agree on feasibility and, when feasible, on
+// the exact minimum register count.
+func TestRBPMatchesOracleSweep(t *testing.T) {
+	tc := tech.CongPan70nm()
+	rng := rand.New(rand.NewSource(20260805))
+	const cases = 120
+	feasible, infeasible := 0, 0
+	for i := 0; i < cases; i++ {
+		li := randomLine(rng)
+		T := 30 + rng.Float64()*1470
+		p := li.problem(t, tc)
+
+		want, oerr := oracle.MinRegisters(li.line, tc, T)
+		got, rerr := RBP(p, T, Options{})
+		switch {
+		case oerr == nil && rerr == nil:
+			feasible++
+			if got.Registers != want.Registers {
+				t.Errorf("case %d (edges=%d pitch=%g T=%.1f): RBP registers %d != oracle %d",
+					i, li.line.Edges, li.line.PitchMM, T, got.Registers, want.Registers)
+			}
+			if got.Latency != T*float64(got.Registers+1) {
+				t.Errorf("case %d: latency %g inconsistent with %d registers at T=%.1f",
+					i, got.Latency, got.Registers, T)
+			}
+		case oerr != nil && rerr != nil:
+			infeasible++
+			if !errors.Is(rerr, ErrNoPath) {
+				t.Errorf("case %d: oracle infeasible but RBP failed with %v (want ErrNoPath)", i, rerr)
+			}
+		default:
+			t.Errorf("case %d (edges=%d pitch=%g T=%.1f): feasibility disagrees — oracle err %v, RBP err %v",
+				i, li.line.Edges, li.line.PitchMM, T, oerr, rerr)
+		}
+	}
+	t.Logf("sweep: %d feasible, %d infeasible of %d", feasible, infeasible, cases)
+	if feasible < 20 || infeasible < 5 {
+		t.Errorf("degenerate sweep (%d feasible, %d infeasible) — tune the case generator", feasible, infeasible)
+	}
+}
+
+// TestFastPathMatchesOracleMinDelaySweep: on the same instances the
+// register-free minimum buffered delay must match the oracle's closed DP,
+// and RBP at an effectively infinite period must collapse to zero
+// registers with a source delay no better than that optimum.
+func TestFastPathMatchesOracleMinDelaySweep(t *testing.T) {
+	tc := tech.CongPan70nm()
+	rng := rand.New(rand.NewSource(99))
+	const cases = 100
+	for i := 0; i < cases; i++ {
+		li := randomLine(rng)
+		p := li.problem(t, tc)
+
+		want, err := oracle.MinDelay(li.line, tc)
+		if err != nil {
+			t.Fatalf("case %d: oracle MinDelay: %v", i, err)
+		}
+		got, err := FastPath(p, Options{})
+		if err != nil {
+			t.Fatalf("case %d: FastPath: %v", i, err)
+		}
+		if math.Abs(got.Latency-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("case %d (edges=%d pitch=%g): FastPath delay %g != oracle %g",
+				i, li.line.Edges, li.line.PitchMM, got.Latency, want)
+		}
+
+		const hugeT = 1e9 // ps; no line needs a register at this period
+		reg, err := RBP(p, hugeT, Options{})
+		if err != nil {
+			t.Fatalf("case %d: RBP at infinite period: %v", i, err)
+		}
+		if reg.Registers != 0 {
+			t.Errorf("case %d: RBP used %d registers at an infinite period", i, reg.Registers)
+		}
+		if reg.SourceDelay < want-1e-6 {
+			t.Errorf("case %d: RBP zero-register delay %g beats the oracle optimum %g",
+				i, reg.SourceDelay, want)
+		}
+	}
+}

@@ -33,6 +33,18 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// ParseKind resolves an algorithm name ("fastpath", "rbp", "gals") back to
+// its Kind — the inverse of Kind.String, shared by the service's JSON
+// decoder and any CLI that selects the algorithm by name.
+func ParseKind(s string) (Kind, error) {
+	for k := KindFastPath; k <= KindGALS; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm kind %q (want fastpath, rbp, or gals)", s)
+}
+
 // Request bundles one routing query for Route: the algorithm, its clock
 // parameters, and the search options. The zero value of Options keeps the
 // published behavior; only the fields the Kind needs are consulted.

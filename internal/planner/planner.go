@@ -501,6 +501,23 @@ func reserve(g *grid.Grid, p *route.Path) {
 	}
 }
 
+// AllAborted returns a representative abort error when every net of the
+// plan failed with core.ErrAborted — the signature of a batch whose
+// deadline expired before any routing finished — and nil otherwise. The
+// service layer uses it to report such a batch as a timeout instead of a
+// plan of failures.
+func (p *Plan) AllAborted() error {
+	if len(p.Nets) == 0 {
+		return nil
+	}
+	for _, n := range p.Nets {
+		if n.Err == nil || !errors.Is(n.Err, core.ErrAborted) {
+			return nil
+		}
+	}
+	return p.Nets[0].Err
+}
+
 // Failed returns the nets that could not be routed.
 func (p *Plan) Failed() []NetResult {
 	var out []NetResult

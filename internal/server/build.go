@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+
+	"clockroute/api"
+	"clockroute/internal/candidate"
+	"clockroute/internal/core"
+	"clockroute/internal/elmore"
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+	"clockroute/internal/planner"
+	"clockroute/internal/route"
+	"clockroute/internal/tech"
+	"clockroute/internal/telemetry"
+)
+
+// buildGrid materializes a validated GridSpec. api.Validate has already
+// bounded the dimensions, so grid.New cannot be handed panic-worthy input.
+func buildGrid(spec *api.GridSpec) (*grid.Grid, error) {
+	g, err := grid.New(spec.W, spec.H, spec.PitchMM)
+	if err != nil {
+		return nil, fmt.Errorf("server: grid: %w", err)
+	}
+	for _, r := range spec.Obstacles {
+		g.AddObstacle(geom.R(r.X0, r.Y0, r.X1, r.Y1))
+	}
+	for _, r := range spec.RegisterBlockages {
+		g.AddRegisterBlockage(geom.R(r.X0, r.Y0, r.X1, r.Y1))
+	}
+	for _, r := range spec.WiringBlockages {
+		g.AddWiringBlockage(geom.R(r.X0, r.Y0, r.X1, r.Y1))
+	}
+	return g, nil
+}
+
+// buildRoute turns a decoded RouteRequest into a core problem and request.
+func buildRoute(req *api.RouteRequest, tc *tech.Tech) (*core.Problem, core.Request, error) {
+	g, err := buildGrid(&req.Grid)
+	if err != nil {
+		return nil, core.Request{}, err
+	}
+	m, err := elmore.NewModel(tc, g.PitchMM())
+	if err != nil {
+		return nil, core.Request{}, fmt.Errorf("server: model: %w", err)
+	}
+	prob, err := core.NewProblem(g, m, g.ID(geom.Pt(req.Src.X, req.Src.Y)), g.ID(geom.Pt(req.Dst.X, req.Dst.Y)))
+	if err != nil {
+		return nil, core.Request{}, fmt.Errorf("server: %w", err)
+	}
+	kind, err := core.ParseKind(req.Kind)
+	if err != nil {
+		return nil, core.Request{}, err
+	}
+	return prob, core.Request{
+		Kind:        kind,
+		PeriodPS:    req.PeriodPS,
+		SrcPeriodPS: req.SrcPeriodPS,
+		DstPeriodPS: req.DstPeriodPS,
+		ArrayQueues: req.ArrayQueues,
+	}, nil
+}
+
+// buildPlan turns a decoded PlanRequest into a planner over the requested
+// grid plus its net specs, with the service's telemetry sink installed so
+// every net and search span lands on the shared registry.
+func buildPlan(req *api.PlanRequest, tc *tech.Tech, sink telemetry.Sink) (*planner.Planner, []planner.NetSpec, error) {
+	g, err := buildGrid(&req.Grid)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := planner.NewFromGrid(g, tc, core.Options{Telemetry: sink})
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: planner: %w", err)
+	}
+	specs := make([]planner.NetSpec, len(req.Nets))
+	for i, n := range req.Nets {
+		specs[i] = planner.NetSpec{
+			Name:        n.Name,
+			Src:         geom.Pt(n.Src.X, n.Src.Y),
+			Dst:         geom.Pt(n.Dst.X, n.Dst.Y),
+			SrcPeriodPS: n.SrcPeriodPS,
+			DstPeriodPS: n.DstPeriodPS,
+			WireWidths:  n.WireWidths,
+		}
+	}
+	return pl, specs, nil
+}
+
+// GateName renders a gate label for the wire: "" for plain wire, "reg",
+// "fifo", "latch", or "buf<N>" for buffer N of the technology library.
+func GateName(g candidate.Gate) string {
+	switch {
+	case g == candidate.GateNone:
+		return ""
+	case g == candidate.GateRegister:
+		return "reg"
+	case g == candidate.GateFIFO:
+		return "fifo"
+	case g == candidate.GateLatch:
+		return "latch"
+	case g >= 0:
+		return fmt.Sprintf("buf%d", int(g))
+	}
+	return fmt.Sprintf("gate(%d)", int(g))
+}
+
+// ParseGate is the inverse of GateName, used by clients (and the e2e
+// tests) to rebuild a route.Path from a response for re-verification.
+func ParseGate(s string) (candidate.Gate, error) {
+	switch s {
+	case "":
+		return candidate.GateNone, nil
+	case "reg":
+		return candidate.GateRegister, nil
+	case "fifo":
+		return candidate.GateFIFO, nil
+	case "latch":
+		return candidate.GateLatch, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "buf%d", &n); err != nil || n < 0 {
+		return 0, fmt.Errorf("server: unknown gate label %q", s)
+	}
+	return candidate.Gate(n), nil
+}
+
+// pathOnWire renders a path's nodes and gate labels for a response.
+func pathOnWire(p *route.Path, g *grid.Grid) (pts []api.Point, gates []string) {
+	pts = make([]api.Point, len(p.Nodes))
+	gates = make([]string, len(p.Gates))
+	for i, n := range p.Nodes {
+		pt := g.At(n)
+		pts[i] = api.Point{X: pt.X, Y: pt.Y}
+	}
+	for i, gt := range p.Gates {
+		gates[i] = GateName(gt)
+	}
+	return pts, gates
+}
+
+// routeResponse renders a search result.
+func routeResponse(res *core.Result, g *grid.Grid) *api.RouteResponse {
+	out := &api.RouteResponse{
+		LatencyPS:     res.Latency,
+		SourceDelayPS: res.SourceDelay,
+		SlackPS:       res.SlackPS,
+		Registers:     res.Registers,
+		Buffers:       res.Buffers,
+		Stats: api.SearchStats{
+			Configs:   res.Stats.Configs,
+			Pushed:    res.Stats.Pushed,
+			Pruned:    res.Stats.Pruned,
+			Killed:    res.Stats.Killed,
+			Waves:     res.Stats.Waves,
+			MaxQSize:  res.Stats.MaxQSize,
+			ElapsedNS: res.Stats.Elapsed.Nanoseconds(),
+		},
+	}
+	if res.Path != nil {
+		out.Path, out.Gates = pathOnWire(res.Path, g)
+	}
+	return out
+}
+
+// planResponse renders a routed batch, keeping request order.
+func planResponse(plan *planner.Plan) *api.PlanResponse {
+	out := &api.PlanResponse{
+		Nets: make([]api.NetResult, len(plan.Nets)),
+		Stats: api.PlanStats{
+			Workers:      plan.Stats.Workers,
+			NetsRouted:   plan.Stats.NetsRouted,
+			NetsFailed:   plan.Stats.NetsFailed,
+			TotalConfigs: plan.Stats.TotalConfigs,
+			TotalPushed:  plan.Stats.TotalPushed,
+			TotalPruned:  plan.Stats.TotalPruned,
+			TotalWaves:   plan.Stats.TotalWaves,
+			MaxQSize:     plan.Stats.MaxQSize,
+			ElapsedNS:    plan.Stats.Elapsed.Nanoseconds(),
+		},
+	}
+	for i := range plan.Nets {
+		n := &plan.Nets[i]
+		nr := api.NetResult{Name: n.Spec.Name, Mode: string(n.Mode), ElapsedNS: n.Elapsed.Nanoseconds()}
+		if n.Err != nil {
+			nr.Error = n.Err.Error()
+		} else {
+			nr.LatencyPS = n.LatencyPS
+			nr.SrcCycles = n.SrcCycles
+			nr.DstCycles = n.DstCycles
+			nr.Registers = n.Registers
+			nr.Buffers = n.Buffers
+			nr.WireMM = n.WireMM
+			nr.WireWidth = n.WireWidth
+			nr.Path, nr.Gates = pathOnWire(n.Path, plan.Grid)
+		}
+		out.Nets[i] = nr
+	}
+	return out
+}

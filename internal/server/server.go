@@ -1,0 +1,414 @@
+// Package server is the HTTP front end of the routing system: it exposes
+// the unified Route API (POST /v1/route) and the parallel batch planner
+// (POST /v1/plan) as a stdlib-only JSON service with admission control.
+//
+// Admission is two-staged: a bounded in-flight semaphore caps concurrent
+// routing work, and a bounded wait queue absorbs short bursts. When both
+// are full the server sheds the request with 429 and a Retry-After hint
+// instead of letting latency collapse — the wire format and status mapping
+// are documented in package api. Graceful shutdown drains: new requests
+// get 503, in-flight searches run to completion, and only when the drain
+// deadline passes are the survivors aborted through the search layer's
+// cooperative Abort hook.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"clockroute/api"
+	"clockroute/internal/core"
+	"clockroute/internal/tech"
+	"clockroute/internal/telemetry"
+)
+
+// Config tunes a Server. The zero value yields a usable service with the
+// defaults documented per field.
+type Config struct {
+	// MaxInFlight caps concurrently executing routing requests
+	// (default 2×GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue caps requests waiting for an in-flight slot; a request
+	// arriving with the queue full is shed with 429 (default MaxInFlight).
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps any requested timeout (default 2m).
+	MaxTimeout time.Duration
+	// MaxWorkers clamps a PlanRequest's workers field (default GOMAXPROCS).
+	MaxWorkers int
+	// Tech is the technology routing runs against (default CongPan70nm).
+	Tech *tech.Tech
+	// Metrics receives the service counters and, as a telemetry sink, the
+	// search and net span events (default telemetry.Default()).
+	Metrics *telemetry.Metrics
+	// Sink, when non-nil, additionally receives every span event (e.g. a
+	// JSONL trace); it is fanned in next to Metrics.
+	Sink telemetry.Sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Tech == nil {
+		c.Tech = tech.CongPan70nm()
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.Default()
+	}
+	return c
+}
+
+// Server implements the service. Build one with New and mount Handler on
+// any http.Server (cmd/routed does exactly that).
+type Server struct {
+	cfg  Config
+	sink telemetry.Sink // metrics + extra sink, fanned out once
+
+	sem    chan struct{} // in-flight slots
+	queued chan struct{} // wait-queue slots
+
+	// base is canceled when a drain deadline expires, aborting every
+	// in-flight search through the context threaded into core.Route.
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex // guards draining against the in-flight WaitGroup
+	draining bool
+	inflight sync.WaitGroup
+
+	mux *http.ServeMux
+
+	// testHookAdmitted, when set, runs after a request wins an in-flight
+	// slot and before its search starts — tests use it to hold requests
+	// in-flight deterministically.
+	testHookAdmitted func()
+}
+
+// New builds a Server from cfg (see Config for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		sink:       telemetry.Multi(cfg.Metrics, cfg.Sink),
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		queued:     make(chan struct{}, cfg.MaxQueue),
+		base:       base,
+		cancelBase: cancel,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/route", s.handleRoute)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// InFlight reports the number of requests currently holding a slot.
+func (s *Server) InFlight() int { return len(s.sem) }
+
+// Queued reports the number of requests waiting for a slot.
+func (s *Server) Queued() int { return len(s.queued) }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: new requests are refused with 503
+// immediately, in-flight requests run to completion, and if ctx expires
+// first the remaining searches are aborted cooperatively (their clients
+// get 503 with the abort cause). Shutdown returns once every request has
+// finished, with ctx.Err() when the drain deadline forced aborts.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelBase() // abort survivors through the search Abort hook
+		<-done
+	}
+	s.cancelBase()
+	return err
+}
+
+// enter registers a request with the drain accounting, refusing when a
+// shutdown has begun. The caller must invoke the returned func exactly
+// once (and only when ok).
+func (s *Server) enter() (leave func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return s.inflight.Done, true
+}
+
+// errSaturated is reported when both the in-flight slots and the wait
+// queue are full — the 429 path.
+var errSaturated = errors.New("server: saturated: in-flight and queue limits reached")
+
+// admit acquires an in-flight slot, waiting in the bounded queue if
+// necessary. It sheds with errSaturated when the queue is full, and gives
+// up when ctx (the client connection) or the drain context fires.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+	}
+	select {
+	case s.queued <- struct{}{}:
+	default:
+		return nil, errSaturated
+	}
+	defer func() { <-s.queued }()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.base.Done():
+		return nil, s.base.Err()
+	}
+}
+
+// requestTimeout resolves a request's timeout_ms against the configured
+// default and ceiling.
+func (s *Server) requestTimeout(timeoutMS int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// requestContext derives the search context: the client's context bounded
+// by the resolved timeout, additionally canceled when a drain deadline
+// forces aborts.
+func (s *Server) requestContext(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(parent, s.requestTimeout(timeoutMS))
+	stop := context.AfterFunc(s.base, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"in_flight": s.InFlight(),
+		"queued":    s.Queued(),
+	})
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.cfg.Metrics
+	m.Requests.Inc()
+	defer s.observeLatency(start)
+
+	req, err := api.DecodeRouteRequest(r.Body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	leave, ok := s.enter()
+	if !ok {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("server: shutting down"))
+		return
+	}
+	defer leave()
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.refuse(w, err)
+		return
+	}
+	defer release()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	prob, coreReq, err := buildRoute(req, s.cfg.Tech)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	coreReq.Options.Telemetry = s.sink
+	coreReq.Options.MaxConfigs = req.MaxConfigs
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	res, err := core.Route(ctx, prob, coreReq)
+	if err != nil {
+		s.failSearch(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, routeResponse(res, prob.Grid))
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.cfg.Metrics
+	m.Requests.Inc()
+	defer s.observeLatency(start)
+
+	req, err := api.DecodePlanRequest(r.Body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	leave, ok := s.enter()
+	if !ok {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("server: shutting down"))
+		return
+	}
+	defer leave()
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.refuse(w, err)
+		return
+	}
+	defer release()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	pl, specs, err := buildPlan(req, s.cfg.Tech, s.sink)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxWorkers {
+		workers = s.cfg.MaxWorkers
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	plan, err := pl.RunParallel(ctx, workers, specs)
+	if err != nil {
+		// Spec-level validation failures; routing errors live per net.
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// A batch whose every net was aborted is a deadline failure, not a
+	// result — report it like a single aborted search.
+	if aborted := plan.AllAborted(); aborted != nil {
+		s.failSearch(w, aborted)
+		return
+	}
+	writeJSON(w, http.StatusOK, planResponse(plan))
+}
+
+// observeLatency records one request's wall time on the latency histogram.
+func (s *Server) observeLatency(start time.Time) {
+	if h := s.cfg.Metrics.RequestLatencyMS; h != nil {
+		h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+}
+
+// refuse maps an admission failure onto its status: saturation is 429 with
+// a Retry-After hint, a drain is 503, and a client that went away gets the
+// (unsendable) 504.
+func (s *Server) refuse(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errSaturated):
+		s.cfg.Metrics.Shed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.requestTimeout(0))))
+		s.writeError(w, http.StatusTooManyRequests, err)
+	case s.base.Err() != nil || s.Draining():
+		s.fail(w, http.StatusServiceUnavailable, errors.New("server: shutting down"))
+	default:
+		s.fail(w, http.StatusGatewayTimeout, err)
+	}
+}
+
+// failSearch maps a search error onto its status: infeasibility is 422,
+// an abort is 503 during drain and 504 otherwise, anything else 500.
+func (s *Server) failSearch(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrNoPath):
+		s.fail(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, core.ErrAborted):
+		s.cfg.Metrics.RequestAborts.Inc()
+		if s.base.Err() != nil {
+			s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server: shutting down: %w", err))
+			return
+		}
+		s.fail(w, http.StatusGatewayTimeout, err)
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+}
+
+// fail writes an error status, counting it as a request error.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.cfg.Metrics.RequestErrors.Inc()
+	s.writeError(w, status, err)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds suggests a retry delay from the default request
+// timeout: long enough that a retry likely finds a free slot, never zero.
+func retryAfterSeconds(d time.Duration) int {
+	sec := int(d / (4 * time.Second))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}

@@ -156,6 +156,14 @@ type Metrics struct {
 	// WorkerBusyNS accumulates time workers spent routing (net_end spans),
 	// the numerator of pool utilization.
 	WorkerBusyNS Counter
+	// Service-level counters, incremented by the HTTP front end
+	// (internal/server) rather than the event stream.
+	Requests      Counter // requests received across all endpoints
+	RequestErrors Counter // non-2xx responses other than sheds
+	Shed          Counter // requests refused by admission control (429)
+	RequestAborts Counter // requests whose search was aborted (504/503)
+	// RequestLatencyMS buckets each request's wall time in milliseconds.
+	RequestLatencyMS *Histogram
 
 	publish sync.Once
 }
@@ -163,7 +171,10 @@ type Metrics struct {
 // NewMetrics builds a registry with the default latency bucket layout
 // (1 ms … ~16 s, doubling).
 func NewMetrics() *Metrics {
-	return &Metrics{NetLatencyMS: NewHistogram(ExpBuckets(1, 2, 15)...)}
+	return &Metrics{
+		NetLatencyMS:     NewHistogram(ExpBuckets(1, 2, 15)...),
+		RequestLatencyMS: NewHistogram(ExpBuckets(1, 2, 15)...),
+	}
 }
 
 // PruneRatio reports pruned / (pruned + pushed) — the fraction of generated
@@ -224,9 +235,16 @@ func (m *Metrics) Snapshot() map[string]any {
 		"nets_done":      m.NetsDone.Value(),
 		"nets_failed":    m.NetsFailed.Value(),
 		"worker_busy_ns": m.WorkerBusyNS.Value(),
+		"requests":       m.Requests.Value(),
+		"request_errors": m.RequestErrors.Value(),
+		"shed":           m.Shed.Value(),
+		"request_aborts": m.RequestAborts.Value(),
 	}
 	if m.NetLatencyMS != nil {
 		out["net_latency_ms"] = m.NetLatencyMS.snapshot()
+	}
+	if m.RequestLatencyMS != nil {
+		out["request_latency_ms"] = m.RequestLatencyMS.snapshot()
 	}
 	return out
 }

@@ -148,6 +148,34 @@ func TestMetricsFromEvents(t *testing.T) {
 	}
 }
 
+func TestServiceCounters(t *testing.T) {
+	m := NewMetrics()
+	m.Requests.Add(5)
+	m.Shed.Inc()
+	m.RequestAborts.Inc()
+	m.RequestErrors.Add(2)
+	m.RequestLatencyMS.Observe(3)
+	m.RequestLatencyMS.Observe(700)
+
+	snap := m.Snapshot()
+	for key, want := range map[string]int64{
+		"requests":       5,
+		"shed":           1,
+		"request_aborts": 1,
+		"request_errors": 2,
+	} {
+		if got, ok := snap[key].(int64); !ok || got != want {
+			t.Errorf("snapshot %s = %v, want %d", key, snap[key], want)
+		}
+	}
+	if _, ok := snap["request_latency_ms"]; !ok {
+		t.Error("snapshot missing request latency histogram")
+	}
+	if m.RequestLatencyMS.Count() != 2 {
+		t.Errorf("request latency histogram holds %d samples, want 2", m.RequestLatencyMS.Count())
+	}
+}
+
 func TestDefaultIsSingleton(t *testing.T) {
 	if Default() != Default() {
 		t.Fatal("Default must return one process-wide registry")
