@@ -2,7 +2,7 @@
 # suite under the race detector (the parallel planner engine and the
 # telemetry sinks make -race load-bearing, not optional), and survive a
 # short fuzzing pass over every decoder that accepts untrusted bytes.
-.PHONY: tier1 build vet test race fuzz-smoke bench bench-telemetry obs-demo tables
+.PHONY: tier1 build vet test race fuzz-smoke bench bench-core bench-telemetry obs-demo tables
 
 tier1: build vet race fuzz-smoke
 
@@ -35,6 +35,14 @@ fuzz-smoke:
 # the parallel batch-routing benchmark.
 bench:
 	go test -run xxx -bench . -benchtime 1x .
+
+# Allocation/latency trajectory of the search core: the headline RBP and
+# FastPath single-search benchmarks plus the parallel planner batch, with
+# allocation reporting, recorded as JSON so future PRs can compare their
+# allocs/op and ns/op against the checked-in numbers.
+bench-core:
+	go test -run xxx -bench 'BenchmarkRBP$$|BenchmarkFastPath$$|BenchmarkPlanner_ParallelVsSerial$$' -benchmem -benchtime 10x -json . > BENCH_core.json
+	@grep -o '"Output":"[^"]*/op[^"]*' BENCH_core.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 
 # Price the observability layer: BenchmarkRBP at telemetry off/ring/metrics
 # with allocation reporting, recorded as JSON for regression tracking.

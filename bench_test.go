@@ -344,6 +344,25 @@ func BenchmarkRBP(b *testing.B) {
 	})
 }
 
+// BenchmarkFastPath is the unclocked single-search counterpart of
+// BenchmarkRBP, tracked in BENCH_core.json alongside it: the minimum-delay
+// baseline exercises the same arena/scratch path without wavefronts, so a
+// memory-management regression shows up here even if the wave machinery
+// masks it in RBP.
+func BenchmarkFastPath(b *testing.B) {
+	prob := reducedProblem(b)
+	b.ReportAllocs()
+	var configs int
+	for n := 0; n < b.N; n++ {
+		res, err := core.FastPath(prob, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs = res.Stats.Configs
+	}
+	b.ReportMetric(float64(configs), "configs/op")
+}
+
 // BenchmarkPlanner_ParallelVsSerial routes the same 16-net SoC workload
 // with 1, 2, 4, and 8 workers over one shared grid and Elmore model. On a
 // multi-core host the 4-worker row shows the batch-routing speedup; on any

@@ -11,6 +11,8 @@
 // backward walk.
 package candidate
 
+import "math"
+
 // Gate identifies the element a candidate inserted at its node.
 // Non-negative values index the technology's buffer library.
 type Gate int16
@@ -72,6 +74,59 @@ func (c *Candidate) PathLen() int {
 	return n
 }
 
+// arenaBlock is the slab size of an Arena: enough to amortize slab
+// allocation across thousands of expansions while keeping a mostly-idle
+// pooled arena under a few hundred KiB.
+const arenaBlock = 4096
+
+// Arena is a slab allocator for Candidates. The search loops create one
+// candidate per expansion — by far the dominant allocation of a run — so
+// New hands out slots from chunked blocks instead of the heap, and Reset
+// recycles every candidate of the finished search in O(1).
+//
+// Lifetime rule: a candidate obtained from New is valid only until the
+// arena's next Reset. That is safe for the routers because candidates are
+// immortal within a search and nothing escapes it — route.FromCandidate
+// copies the winning chain into a fresh Path before the search returns.
+// Anything that must outlive Reset (results, diagnostics) must copy, never
+// retain *Candidate pointers.
+//
+// The zero value is ready to use. An Arena is not goroutine-safe; each
+// concurrent search owns its own (core.Scratch pools them).
+type Arena struct {
+	blocks [][]Candidate
+	cur    int // index of the block New is filling
+	used   int // slots handed out from blocks[cur]
+}
+
+// New copies c into the next free slot and returns the slot's pointer.
+func (a *Arena) New(c Candidate) *Candidate {
+	if a.cur < len(a.blocks) && a.used == len(a.blocks[a.cur]) {
+		a.cur++
+		a.used = 0
+	}
+	if a.cur == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]Candidate, arenaBlock))
+	}
+	p := &a.blocks[a.cur][a.used]
+	a.used++
+	*p = c
+	return p
+}
+
+// Len returns the number of live candidates handed out since the last
+// Reset (diagnostics).
+func (a *Arena) Len() int {
+	return a.cur*arenaBlock + a.used
+}
+
+// Reset recycles every candidate at once: subsequent News reuse the slabs
+// from the start. All previously returned pointers become invalid (their
+// memory will be rewritten); see the lifetime rule above.
+func (a *Arena) Reset() {
+	a.cur, a.used = 0, 0
+}
+
 // Store keeps, for every grid node, the Pareto frontier of live candidates
 // seen in the current pruning epoch. An entry (c1,d1) is inferior to
 // (c2,d2) when c1 >= c2 and d1 >= d2; inferior candidates are pruned.
@@ -116,6 +171,28 @@ func NewTriStore(n int) *Store {
 // logically empty. Existing candidates are untouched (they belong to queues
 // of earlier waves, which are already drained when RBP/GALS call this).
 func (s *Store) NextEpoch() { s.cur++ }
+
+// Reuse prepares the store for a fresh search covering nodes [0, n) in the
+// given dominance mode, growing the node arrays as needed and invalidating
+// every frontier with an epoch bump instead of reallocating. The diagnostic
+// counters restart from zero. Pooled stores (core.Scratch) call this
+// between searches so frontier list capacity is retained across the
+// thousands of searches of a batch.
+func (s *Store) Reuse(n int, tri bool) {
+	if len(s.stamp) < n {
+		s.lists = append(s.lists, make([][]*Candidate, n-len(s.lists))...)
+		s.stamp = append(s.stamp, make([]int32, n-len(s.stamp))...)
+	}
+	s.tri = tri
+	// Guard the epoch counter against wrap on very long-lived pooled
+	// stores: restart stamps from zero well before overflow.
+	if s.cur >= math.MaxInt32-(1<<20) {
+		clear(s.stamp)
+		s.cur = 0
+	}
+	s.cur++
+	s.inserted, s.rejected, s.killed = 0, 0, 0
+}
 
 // list returns the current-epoch frontier for node v, resetting it lazily.
 func (s *Store) list(v int32) []*Candidate {
@@ -216,8 +293,26 @@ func (s *Store) insertTri(c *Candidate) bool {
 
 // Frontier returns a copy of the current-epoch Pareto frontier at node v,
 // for inspection by tests and diagnostics.
+//
+// Side effect: like every frontier accessor it goes through list(), which
+// lazily applies any pending epoch reset — if v has not been touched since
+// the last NextEpoch/Reuse, its stale frontier is truncated here, not at
+// epoch-bump time. Reading a frontier therefore commits the reset for that
+// node; candidates from earlier epochs are never returned.
 func (s *Store) Frontier(v int32) []*Candidate {
 	return append([]*Candidate(nil), s.list(v)...)
+}
+
+// ForEachLive calls fn for every candidate on v's current-epoch frontier in
+// storage order, without allocating the copy Frontier makes. Every frontier
+// entry is live by construction (Insert removes the candidates it kills),
+// so fn sees exactly the candidates a new arrival would be pruned against.
+// fn must not mutate the store. The lazy epoch-reset side effect of
+// Frontier applies here too.
+func (s *Store) ForEachLive(v int32, fn func(*Candidate)) {
+	for _, c := range s.list(v) {
+		fn(c)
+	}
 }
 
 // Stats returns (inserted, rejected, killed) counters.

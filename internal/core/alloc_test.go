@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+)
+
+// allocProblem is large enough that the pre-arena implementation allocated
+// thousands of candidates per search (one per expansion), so the budgets
+// below would fail by two orders of magnitude without the scratch pool.
+func allocProblem(t *testing.T) *Problem {
+	t.Helper()
+	g := grid.MustNew(41, 5, 0.5)
+	return problemOn(t, g, geom.Pt(0, 2), geom.Pt(40, 2))
+}
+
+// TestSearchAllocBudgets pins the post-arena allocation counts of every
+// algorithm: with pooled scratch memory, a steady-state search allocates
+// only its result (Result, Path, engine and closure headers) — nothing
+// proportional to the expansion count. The budget is deliberately loose
+// (pool misses after a GC re-allocate a few slabs) but two orders of
+// magnitude below the old one-alloc-per-candidate regime.
+func TestSearchAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime randomizes sync.Pool retention; alloc budgets are asserted without -race")
+	}
+	p := allocProblem(t)
+	const budget = 64.0
+	cases := map[string]func() error{
+		"fastpath": func() error { _, err := FastPath(p, Options{}); return err },
+		"rbp":      func() error { _, err := RBP(p, 300, Options{}); return err },
+		"rbp-array": func() error {
+			_, err := RBPArrayQueues(p, 300, Options{})
+			return err
+		},
+		"rbp-slack": func() error {
+			_, err := RBP(p, 300, Options{MaximizeSlack: true})
+			return err
+		},
+		"gals": func() error { _, err := GALS(p, 300, 450, Options{}); return err },
+	}
+	for name, run := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := run(); err != nil { // warm the pool
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > budget {
+				t.Errorf("%s allocates %.0f/op, budget %.0f: arena/scratch reuse regressed", name, allocs, budget)
+			}
+		})
+	}
+}
+
+// resultSnap is the schedule-independent portion of a Result, for
+// comparing searches run on fresh versus pooled scratch memory.
+type resultSnap struct {
+	latency, srcDelay, slack float64
+	registers, buffers       int
+	path                     string
+	nodes                    string
+	stats                    Stats
+}
+
+func snap(res *Result) resultSnap {
+	s := resultSnap{
+		latency:   res.Latency,
+		srcDelay:  res.SourceDelay,
+		slack:     res.SlackPS,
+		registers: res.Registers,
+		buffers:   res.Buffers,
+		path:      res.Path.String(),
+		nodes:     fmt.Sprint(res.Path.Nodes),
+		stats:     res.Stats,
+	}
+	s.stats.Elapsed = 0 // wall time is the one legitimately varying field
+	return s
+}
+
+// TestScratchPoolReuseIdentical proves no state leaks between searches
+// sharing pooled scratch memory: back-to-back Route calls — interleaved
+// with aborted searches that release their scratch mid-wave — must produce
+// results identical to a search run on a brand-new, never-used Scratch.
+// Run under -race (the tier-1 suite does) to also check pool handoff.
+func TestScratchPoolReuseIdentical(t *testing.T) {
+	p := allocProblem(t)
+	ctx := context.Background()
+	reqs := map[string]Request{
+		"fastpath":  {Kind: KindFastPath},
+		"rbp":       {Kind: KindRBP, PeriodPS: 300},
+		"rbp-array": {Kind: KindRBP, PeriodPS: 300, ArrayQueues: true},
+		"rbp-slack": {Kind: KindRBP, PeriodPS: 300, Options: Options{MaximizeSlack: true}},
+		"gals":      {Kind: KindGALS, SrcPeriodPS: 300, DstPeriodPS: 450},
+	}
+
+	// Fresh-state baselines: run each algorithm on its own zero-value
+	// Scratch, bypassing the pool entirely.
+	fresh := make(map[string]resultSnap)
+	for name, req := range reqs {
+		var res *Result
+		var err error
+		switch {
+		case req.Kind == KindFastPath:
+			res, err = fastPath(p, req.Options, new(Scratch))
+		case req.Kind == KindRBP && req.ArrayQueues:
+			res, err = rbpArrayQueues(p, req.PeriodPS, req.Options, new(Scratch))
+		case req.Kind == KindRBP:
+			res, err = rbp(p, req.PeriodPS, req.Options, new(Scratch))
+		default:
+			res, err = gals(p, req.SrcPeriodPS, req.DstPeriodPS, req.Options, new(Scratch))
+		}
+		if err != nil {
+			t.Fatalf("%s fresh: %v", name, err)
+		}
+		fresh[name] = snap(res)
+	}
+
+	// abort kills a search partway so its scratch returns to the pool with
+	// half-filled queues, a partly-used arena, and stale store epochs.
+	abort := func() {
+		if _, err := Route(ctx, p, Request{
+			Kind: KindRBP, PeriodPS: 300, Options: Options{MaxConfigs: 7},
+		}); !errors.Is(err, ErrAborted) {
+			t.Fatalf("MaxConfigs abort: %v", err)
+		}
+		if _, err := Route(ctx, p, Request{
+			Kind: KindRBP, PeriodPS: 300,
+			Options: Options{Deadline: time.Now().Add(-time.Second)},
+		}); !errors.Is(err, ErrAborted) {
+			t.Fatalf("deadline abort: %v", err)
+		}
+	}
+
+	for round := 0; round < 3; round++ {
+		for name, req := range reqs {
+			abort()
+			res, err := Route(ctx, p, req)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			if got := snap(res); got != fresh[name] {
+				t.Errorf("%s round %d: pooled result diverged\n got %+v\nwant %+v",
+					name, round, got, fresh[name])
+			}
+		}
+	}
+
+	// Concurrent reuse: every worker's searches race for the same pool.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				for name, req := range reqs {
+					res, err := Route(ctx, p, req)
+					if err != nil {
+						t.Errorf("%s concurrent: %v", name, err)
+						return
+					}
+					if got := snap(res); got != fresh[name] {
+						t.Errorf("%s concurrent: pooled result diverged", name)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

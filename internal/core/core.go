@@ -224,10 +224,11 @@ func NewProblem(g *grid.Grid, m *elmore.Model, s, t int) (*Problem, error) {
 
 func (p *Problem) tech() *tech.Tech { return p.Model.Tech() }
 
-// initialCandidate builds the sink candidate (C(r), Setup(r), m', t).
-func (p *Problem) initialCandidate() *candidate.Candidate {
+// initialCandidate builds the sink candidate value (C(r), Setup(r), m', t);
+// callers place it in their search's arena.
+func (p *Problem) initialCandidate() candidate.Candidate {
 	r := p.tech().Register
-	return &candidate.Candidate{
+	return candidate.Candidate{
 		C:    r.C,
 		D:    r.Setup,
 		Node: int32(p.Sink),

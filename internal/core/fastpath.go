@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"clockroute/internal/candidate"
-	"clockroute/internal/pqueue"
 )
 
 // FastPath finds the minimum Elmore-delay buffered path from the problem's
@@ -15,13 +14,21 @@ import (
 // comparable with RBP: the reported Latency is the full source-to-sink
 // delay including the driver delay and the sink setup.
 func FastPath(p *Problem, opts Options) (*Result, error) {
+	sc := GetScratch()
+	defer sc.Release()
+	return fastPath(p, opts, sc)
+}
+
+// fastPath runs the search on borrowed scratch memory; everything the
+// result carries is copied out before the caller releases sc.
+func fastPath(p *Problem, opts Options, sc *Scratch) (*Result, error) {
 	start := time.Now()
 	g, m := p.Grid, p.Model
 	tc := p.tech()
 	reg := tc.Register
 
-	var q pqueue.Heap[*candidate.Candidate]
-	store := candidate.NewStore(g.NumNodes())
+	q := &sc.Q
+	store := sc.PrepStore(0, g.NumNodes(), false)
 	res := &Result{}
 
 	push := func(c *candidate.Candidate, key float64) {
@@ -38,7 +45,7 @@ func FastPath(p *Problem, opts Options) (*Result, error) {
 		}
 	}
 
-	init := p.initialCandidate()
+	init := sc.Arena.New(p.initialCandidate())
 	push(init, init.D)
 	if opts.Trace != nil {
 		opts.Trace.WaveStart(0, math.Inf(1))
@@ -70,10 +77,10 @@ func FastPath(p *Problem, opts Options) (*Result, error) {
 				return res, nil
 			}
 			d2 := m.DriveInto(reg, cur.C, cur.D)
-			fin := &candidate.Candidate{
+			fin := sc.Arena.New(candidate.Candidate{
 				C: 0, D: d2, Node: cur.Node,
 				Gate: candidate.GateNone, Final: true, Parent: cur,
-			}
+			})
 			push(fin, d2)
 		}
 		if cur.Final {
@@ -83,10 +90,10 @@ func FastPath(p *Problem, opts Options) (*Result, error) {
 		// Step 6: extend across each live edge.
 		g.ForNeighbors(u, func(v int) {
 			c2, d2 := m.AddEdge(cur.C, cur.D)
-			push(&candidate.Candidate{
+			push(sc.Arena.New(candidate.Candidate{
 				C: c2, D: d2, Node: int32(v),
 				Gate: candidate.GateNone, Parent: cur,
-			}, d2)
+			}), d2)
 		})
 
 		// Steps 7-8: insert each library buffer at u. The endpoints are
@@ -96,10 +103,10 @@ func FastPath(p *Problem, opts Options) (*Result, error) {
 			for bi := range tc.Buffers {
 				b := tc.Buffers[bi]
 				c2, d2 := m.AddGate(b, cur.C, cur.D)
-				push(&candidate.Candidate{
+				push(sc.Arena.New(candidate.Candidate{
 					C: c2, D: d2, Node: cur.Node,
 					Gate: candidate.Gate(bi), Parent: cur,
-				}, d2)
+				}), d2)
 			}
 		}
 	}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"clockroute/internal/candidate"
-	"clockroute/internal/pqueue"
 )
 
 // latencyEps groups Q* entries whose accumulated latencies differ only by
@@ -25,6 +24,12 @@ const latencyEps = 1e-6
 // of equal l are extracted together since candidates with different
 // latencies are incomparable.
 func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
+	sc := GetScratch()
+	defer sc.Release()
+	return gals(p, Ts, Tt, opts, sc)
+}
+
+func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch) (*Result, error) {
 	if Ts <= 0 || Tt <= 0 {
 		return nil, fmt.Errorf("core: non-positive clock period (Ts=%g, Tt=%g)", Ts, Tt)
 	}
@@ -32,6 +37,7 @@ func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
 	g, m := p.Grid, p.Model
 	tc := p.tech()
 	reg, fifo := tc.Register, tc.FIFO
+	numNodes := g.NumNodes()
 
 	// T(z): the clock period constraining the candidate's current segment.
 	T := func(z uint8) float64 {
@@ -41,20 +47,20 @@ func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
 		return Tt
 	}
 
-	var q pqueue.Heap[*candidate.Candidate]     // current wave, keyed by d
-	var qstar pqueue.Heap[*candidate.Candidate] // future waves, keyed by l
+	q := &sc.Q         // current wave, keyed by d
+	qstar := &sc.QStar // future waves, keyed by l
 
 	// Separate pruning stores per z: candidates with opposing z values are
 	// never compared (Section IV-B, point 2).
 	stores := [2]*candidate.Store{
-		candidate.NewStore(g.NumNodes()),
-		candidate.NewStore(g.NumNodes()),
+		sc.PrepStore(0, numNodes, false),
+		sc.PrepStore(1, numNodes, false),
 	}
-	regDone := [2][]bool{ // A_0(v), A_1(v)
-		make([]bool, g.NumNodes()),
-		make([]bool, g.NumNodes()),
+	regDone := [2]*nodeFlags{ // A_0(v), A_1(v)
+		sc.prepFlags(0, numNodes),
+		sc.prepFlags(1, numNodes),
 	}
-	fifoDone := make([]bool, g.NumNodes()) // F(v)
+	fifoDone := sc.prepFlags(2, numNodes) // F(v)
 
 	res := &Result{}
 	pushQ := func(c *candidate.Candidate) {
@@ -78,28 +84,27 @@ func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
 		}
 	}
 
-	init := p.initialCandidate() // (C(r), Setup(r), m', t, z=0, l=0)
+	init := sc.Arena.New(p.initialCandidate()) // (C(r), Setup(r), m', t, z=0, l=0)
 	pushQ(init)
 	if opts.Trace != nil {
 		opts.Trace.WaveStart(0, 0)
 	}
 	res.Stats.Waves = 1
 
-	var waveBuf []*candidate.Candidate
 	for q.Len() > 0 || qstar.Len() > 0 {
 		if q.Len() == 0 {
 			// Step 2: Q = ExtractAllMin(Q*) — the next equal-latency
 			// wavefront; a fresh pruning epoch for both domains.
-			waveBuf = waveBuf[:0]
+			sc.Buf = sc.Buf[:0]
 			var l float64
-			waveBuf, l = qstar.ExtractAllMin(waveBuf, latencyEps)
+			sc.Buf, l = qstar.ExtractAllMin(sc.Buf, latencyEps)
 			stores[0].NextEpoch()
 			stores[1].NextEpoch()
 			res.Stats.Waves++
 			if opts.Trace != nil {
 				opts.Trace.WaveStart(res.Stats.Waves-1, l)
 			}
-			for _, c := range waveBuf {
+			for _, c := range sc.Buf {
 				pushQ(c)
 			}
 			continue
@@ -137,10 +142,10 @@ func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
 			if d2 > T(c.Z) {
 				return
 			}
-			pushQ(&candidate.Candidate{
+			pushQ(sc.Arena.New(candidate.Candidate{
 				C: c2, D: d2, L: c.L, Node: int32(v),
 				Gate: candidate.GateNone, Z: c.Z, Regs: c.Regs, Parent: c,
-			})
+			}))
 		})
 
 		// The endpoints are excluded from insertion: m(s) and m(t) are
@@ -157,10 +162,10 @@ func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
 			if d2 > T(c.Z) {
 				continue
 			}
-			pushQ(&candidate.Candidate{
+			pushQ(sc.Arena.New(candidate.Candidate{
 				C: c2, D: d2, L: c.L, Node: c.Node,
 				Gate: candidate.Gate(bi), Z: c.Z, Regs: c.Regs, Parent: c,
-			})
+			}))
 		}
 
 		if !g.RegisterInsertable(u) {
@@ -169,22 +174,22 @@ func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
 
 		// Step 8: insert a register (relay station); stays in domain z,
 		// latency grows by that domain's period.
-		if !regDone[c.Z][u] && m.DriveInto(reg, c.C, c.D) <= T(c.Z) {
-			regDone[c.Z][u] = true
-			pushQstar(&candidate.Candidate{
+		if !regDone[c.Z].Has(u) && m.DriveInto(reg, c.C, c.D) <= T(c.Z) {
+			regDone[c.Z].Set(u)
+			pushQstar(sc.Arena.New(candidate.Candidate{
 				C: reg.C, D: reg.Setup, L: c.L + T(c.Z), Node: c.Node,
 				Gate: candidate.GateRegister, Z: c.Z, Regs: c.Regs + 1, Parent: c,
-			})
+			}))
 		}
 
 		// Step 9: insert the MCFIFO — only once on a path (z flips 0→1) and
 		// at most one candidate per node ever carries it (F(v)).
-		if c.Z == 0 && !fifoDone[u] && m.DriveInto(fifo, c.C, c.D) <= T(0) {
-			fifoDone[u] = true
-			pushQstar(&candidate.Candidate{
+		if c.Z == 0 && !fifoDone.Has(u) && m.DriveInto(fifo, c.C, c.D) <= T(0) {
+			fifoDone.Set(u)
+			pushQstar(sc.Arena.New(candidate.Candidate{
 				C: fifo.C, D: fifo.Setup, L: c.L + Tt, Node: c.Node,
 				Gate: candidate.GateFIFO, Z: 1, Regs: c.Regs + 1, Parent: c,
-			})
+			}))
 		}
 	}
 	res.Stats.Elapsed = time.Since(start)

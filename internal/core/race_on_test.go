@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active. The race
+// runtime deliberately randomizes sync.Pool retention, so allocation
+// budgets are only asserted in non-race runs.
+const raceEnabled = true

@@ -5,42 +5,46 @@ import (
 	"time"
 
 	"clockroute/internal/candidate"
-	"clockroute/internal/pqueue"
 )
 
 // rbpEngine holds the state shared by both RBP implementations: the pruning
 // store, the register marking A(v), and the candidate expansion rules of
-// Fig. 5 (steps 4-8).
+// Fig. 5 (steps 4-8). All working memory is borrowed from a Scratch, so a
+// pooled engine run allocates candidates from the arena instead of the
+// heap.
 type rbpEngine struct {
-	p     *Problem
-	T     float64
-	opts  Options
-	minR  float64
+	p    *Problem
+	T    float64
+	opts Options
+	minR float64
+	sc   *Scratch
+	// store prunes same-wave candidates; tri-keyed in max-slack mode.
 	store *candidate.Store
 	// regStore dedups next-wave register candidates per node in max-slack
 	// mode, replacing the single-shot A(v) marking.
 	regStore *candidate.Store
-	regDone  []bool // A(v)
+	regDone  *nodeFlags // A(v)
 	res      *Result
 	curWave  int // wave currently being drained
 	// emit enqueues a candidate in the given wave with the given heap key.
 	emit func(wave int, c *candidate.Candidate, key float64)
 }
 
-func newRBPEngine(p *Problem, T float64, opts Options, res *Result) *rbpEngine {
+func newRBPEngine(p *Problem, T float64, opts Options, res *Result, sc *Scratch) *rbpEngine {
+	n := p.Grid.NumNodes()
 	e := &rbpEngine{
 		p: p, T: T, opts: opts,
 		minR:    p.tech().MinBufferR(),
-		store:   candidate.NewStore(p.Grid.NumNodes()),
-		regDone: make([]bool, p.Grid.NumNodes()),
+		sc:      sc,
+		store:   sc.PrepStore(0, n, opts.MaximizeSlack),
+		regDone: sc.prepFlags(0, n),
 		res:     res,
 	}
 	if opts.MaximizeSlack {
 		// Slack-aware 3-D pruning: a worse-delay candidate may survive for
 		// its better sink slack (Section III extension). Register
 		// insertions are likewise deduplicated by slack, not by A(v).
-		e.store = candidate.NewTriStore(p.Grid.NumNodes())
-		e.regStore = candidate.NewTriStore(p.Grid.NumNodes())
+		e.regStore = sc.PrepStore(1, n, true)
 	}
 	return e
 }
@@ -119,10 +123,10 @@ func (e *rbpEngine) expand(c *candidate.Candidate, wave int) (*arrival, error) {
 		if d2 > limit {
 			return
 		}
-		e.tryEmit(wave, &candidate.Candidate{
+		e.tryEmit(wave, e.sc.Arena.New(candidate.Candidate{
 			C: c2, D: d2, Slack: c.Slack, Node: int32(v),
 			Gate: candidate.GateNone, Regs: c.Regs, Parent: c,
-		}, d2, e.store)
+		}), d2, e.store)
 	})
 
 	// The endpoints are excluded from insertion: m(s) and m(t) are fixed to
@@ -143,10 +147,10 @@ func (e *rbpEngine) expand(c *candidate.Candidate, wave int) (*arrival, error) {
 		if d2 > limit {
 			continue
 		}
-		e.tryEmit(wave, &candidate.Candidate{
+		e.tryEmit(wave, e.sc.Arena.New(candidate.Candidate{
 			C: c2, D: d2, Slack: c.Slack, Node: c.Node,
 			Gate: candidate.Gate(bi), Regs: c.Regs, Parent: c,
-		}, d2, e.store)
+		}), d2, e.store)
 	}
 
 	// Step 8: insert a register, opening the next wave. The first candidate
@@ -154,17 +158,17 @@ func (e *rbpEngine) expand(c *candidate.Candidate, wave int) (*arrival, error) {
 	// later (never better) register insertion here — except in max-slack
 	// mode, where distinct sink slacks make multiple registered candidates
 	// per node worth keeping (deduplicated by the tri-store instead).
-	if g.RegisterInsertable(u) && (!e.regDone[u] || e.opts.MaximizeSlack) {
+	if g.RegisterInsertable(u) && (!e.regDone.Has(u) || e.opts.MaximizeSlack) {
 		if d2 := m.DriveInto(reg, c.C, c.D); d2 <= e.T {
-			e.regDone[u] = true
+			e.regDone.Set(u)
 			slack := c.Slack
 			if c.Regs == 0 {
 				slack = e.T - d2 // the sink-adjacent segment just closed
 			}
-			e.tryEmit(wave+1, &candidate.Candidate{
+			e.tryEmit(wave+1, e.sc.Arena.New(candidate.Candidate{
 				C: reg.C, D: reg.Setup, Slack: slack, Node: c.Node,
 				Gate: candidate.GateRegister, Regs: c.Regs + 1, Parent: c,
-			}, reg.Setup, e.regStore)
+			}), reg.Setup, e.regStore)
 		}
 	}
 	return arr, nil
@@ -188,43 +192,49 @@ func (e *rbpEngine) close(a *arrival, wave int, start time.Time) *Result {
 // is the published two-queue formulation: Q holds the current wave ordered
 // by delay, Q* accumulates the next wave, and Q = Q*, Q* = ∅ on exhaustion.
 func RBP(p *Problem, T float64, opts Options) (*Result, error) {
+	sc := GetScratch()
+	defer sc.Release()
+	return rbp(p, T, opts, sc)
+}
+
+func rbp(p *Problem, T float64, opts Options, sc *Scratch) (*Result, error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("core: non-positive clock period %g", T)
 	}
 	start := time.Now()
 	res := &Result{}
-	e := newRBPEngine(p, T, opts, res)
+	e := newRBPEngine(p, T, opts, res, sc)
 
-	var q pqueue.Heap[*candidate.Candidate]
-	var qstar []*candidate.Candidate // next wave; all share key Setup(r)
+	q := &sc.Q           // current wave, keyed by delay
+	qstar := &sc.Buf     // next wave; all entries share key Setup(r)
 	e.emit = func(wave int, c *candidate.Candidate, key float64) {
 		if wave == e.curWave {
 			q.Push(key, c)
 		} else {
-			qstar = append(qstar, c)
+			*qstar = append(*qstar, c)
 		}
-		if n := q.Len() + len(qstar); n > res.Stats.MaxQSize {
+		if n := q.Len() + len(*qstar); n > res.Stats.MaxQSize {
 			res.Stats.MaxQSize = n
 		}
 	}
 
-	init := p.initialCandidate()
+	init := sc.Arena.New(p.initialCandidate())
 	e.curWave = 0
 	e.tryEmit(0, init, init.D, e.store)
 
 	// In max-slack mode the winning wave is drained completely and the
 	// best-slack arrival wins; otherwise the first arrival is returned.
 	var best *arrival
-	for q.Len() > 0 || len(qstar) > 0 {
+	for q.Len() > 0 || len(*qstar) > 0 {
 		if q.Len() == 0 {
 			if best != nil {
 				break // the minimum-latency wave is fully explored
 			}
 			// Step 2: Q = Q*, Q* = ∅; new wave, new pruning epoch.
-			for _, c := range qstar {
+			for _, c := range *qstar {
 				q.Push(c.D, c)
 			}
-			qstar = qstar[:0]
+			*qstar = (*qstar)[:0]
 			e.curWave++
 			e.nextEpoch()
 		}
@@ -263,37 +273,40 @@ func RBP(p *Problem, T float64, opts Options) (*Result, error) {
 // to RBP; the array trades memory (all wave heaps live simultaneously) for
 // not having to swap queues.
 func RBPArrayQueues(p *Problem, T float64, opts Options) (*Result, error) {
+	sc := GetScratch()
+	defer sc.Release()
+	return rbpArrayQueues(p, T, opts, sc)
+}
+
+func rbpArrayQueues(p *Problem, T float64, opts Options, sc *Scratch) (*Result, error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("core: non-positive clock period %g", T)
 	}
 	start := time.Now()
 	res := &Result{}
-	e := newRBPEngine(p, T, opts, res)
+	e := newRBPEngine(p, T, opts, res, sc)
 
-	waves := []*pqueue.Heap[*candidate.Candidate]{{}}
-	waveAt := func(w int) *pqueue.Heap[*candidate.Candidate] {
-		for len(waves) <= w {
-			waves = append(waves, &pqueue.Heap[*candidate.Candidate]{})
-		}
-		return waves[w]
-	}
+	// MaxQSize is the number of candidates across all wave heaps; a running
+	// push/pop balance tracks it in O(1) instead of summing every heap's
+	// length on each push.
+	nWaves, queued := 1, 0
 	e.emit = func(wave int, c *candidate.Candidate, key float64) {
-		waveAt(wave).Push(key, c)
-		n := 0
-		for _, w := range waves {
-			n += w.Len()
+		sc.Wave(wave).Push(key, c)
+		if wave >= nWaves {
+			nWaves = wave + 1
 		}
-		if n > res.Stats.MaxQSize {
-			res.Stats.MaxQSize = n
+		queued++
+		if queued > res.Stats.MaxQSize {
+			res.Stats.MaxQSize = queued
 		}
 	}
 
-	init := p.initialCandidate()
+	init := sc.Arena.New(p.initialCandidate())
 	e.tryEmit(0, init, init.D, e.store)
 
 	var best *arrival
-	for cur := 0; cur < len(waves); cur++ {
-		q := waves[cur]
+	for cur := 0; cur < nWaves; cur++ {
+		q := sc.Wave(cur)
 		if q.Len() == 0 {
 			continue
 		}
@@ -305,6 +318,7 @@ func RBPArrayQueues(p *Problem, T float64, opts Options) (*Result, error) {
 		}
 		for q.Len() > 0 {
 			_, c, _ := q.Pop()
+			queued--
 			if c.Dead {
 				continue
 			}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"clockroute/internal/candidate"
+	"clockroute/internal/pqueue"
+)
+
+// Scratch bundles the working memory of one search: the candidate arena,
+// the Pareto stores, the per-node marking sets, and the wave queues. The
+// algorithms are invoked thousands of times per planning batch, each run
+// formerly re-making NumNodes-sized stores and marking arrays and heap-
+// allocating one candidate per expansion; a Scratch retains all of that hot
+// memory so a pooled instance makes a steady-state search allocate almost
+// nothing.
+//
+// Ownership: a Scratch serves exactly one search at a time. GetScratch
+// hands one out (from a sync.Pool, so planner workers and the service
+// reuse instances across nets) and Release returns it; the exported
+// algorithm entry points do both, which is how clockroute.Route, the
+// planner's worker pool, and internal/server all share the pool without
+// any of them managing lifetimes explicitly. Everything a search returns
+// (Result, Path, Stats) is copied out of the scratch before Release, so
+// results never alias pooled memory.
+type Scratch struct {
+	// Arena allocates the search's candidates; Release-to-Get recycles
+	// every slab. See the candidate.Arena lifetime rule: nothing built
+	// from arena candidates may outlive the search without copying.
+	Arena candidate.Arena
+
+	// Q is the primary wave heap (FastPath's only queue; RBP's and GALS's
+	// current wave).
+	Q pqueue.Heap[*candidate.Candidate]
+	// QStar is GALS's future-wave heap, keyed by accumulated latency.
+	QStar pqueue.Heap[*candidate.Candidate]
+	// Buf is the shared candidate buffer: RBP's next-wave accumulation
+	// list and GALS's wavefront extraction buffer.
+	Buf []*candidate.Candidate
+
+	stores [2]*candidate.Store
+	flags  [3]nodeFlags
+	waves  []*pqueue.Heap[*candidate.Candidate]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a search-ready Scratch from the pool: arena recycled,
+// queues emptied, buffers truncated. Pair it with Release.
+func GetScratch() *Scratch {
+	sc := scratchPool.Get().(*Scratch)
+	sc.Arena.Reset()
+	sc.Q.Reset()
+	sc.QStar.Reset()
+	sc.Buf = sc.Buf[:0]
+	sc.ResetWaves()
+	return sc
+}
+
+// Release returns sc to the pool. The caller must not touch sc — or any
+// candidate allocated from its arena — afterwards.
+func (s *Scratch) Release() {
+	scratchPool.Put(s)
+}
+
+// PrepStore returns the i-th reusable Pareto store (i in [0, 2)), prepared
+// for a fresh search over n nodes in the given dominance mode.
+func (s *Scratch) PrepStore(i, n int, tri bool) *candidate.Store {
+	if s.stores[i] == nil {
+		s.stores[i] = candidate.NewStore(0)
+	}
+	s.stores[i].Reuse(n, tri)
+	return s.stores[i]
+}
+
+// prepFlags returns the i-th reusable node-marking set (i in [0, 3)),
+// cleared and covering n nodes.
+func (s *Scratch) prepFlags(i, n int) *nodeFlags {
+	s.flags[i].reuse(n)
+	return &s.flags[i]
+}
+
+// Wave returns the reusable heap for wave index w, allocating heaps on
+// first use and retaining them (and their backing slices) across searches.
+// Used by the array-of-queues RBP variant and the latch router, whose wave
+// heaps all live simultaneously.
+func (s *Scratch) Wave(w int) *pqueue.Heap[*candidate.Candidate] {
+	for len(s.waves) <= w {
+		s.waves = append(s.waves, &pqueue.Heap[*candidate.Candidate]{})
+	}
+	return s.waves[w]
+}
+
+// ResetWaves empties every allocated wave heap. The latch router's
+// iterative deepening calls this between latency iterations; a feasible
+// arrival returns mid-drain, so heaps may be non-empty at iteration end.
+func (s *Scratch) ResetWaves() {
+	for _, h := range s.waves {
+		h.Reset()
+	}
+}
+
+// nodeFlags is a reusable per-node boolean set with O(1) clear via epoch
+// stamps — the pooled replacement for the per-search make([]bool, NumNodes)
+// marking arrays (RBP's A(v), GALS's A_z(v) and F(v)).
+type nodeFlags struct {
+	stamp []int32
+	cur   int32
+}
+
+// reuse clears the set and grows it to cover nodes [0, n).
+func (f *nodeFlags) reuse(n int) {
+	if len(f.stamp) < n {
+		f.stamp = append(f.stamp, make([]int32, n-len(f.stamp))...)
+	}
+	if f.cur == math.MaxInt32 {
+		clear(f.stamp)
+		f.cur = 0
+	}
+	f.cur++
+}
+
+// Has reports whether node v is marked.
+func (f *nodeFlags) Has(v int) bool { return f.stamp[v] == f.cur }
+
+// Set marks node v.
+func (f *nodeFlags) Set(v int) { f.stamp[v] = f.cur }

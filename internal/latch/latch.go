@@ -46,7 +46,6 @@ import (
 
 	"clockroute/internal/candidate"
 	"clockroute/internal/core"
-	"clockroute/internal/pqueue"
 	"clockroute/internal/route"
 	"clockroute/internal/tech"
 )
@@ -92,8 +91,15 @@ func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.
 
 	start := time.Now()
 	total := &core.Stats{}
+	// One pooled scratch serves the whole iterative deepening: each latency
+	// iteration recycles the previous iteration's candidates (its arena),
+	// wave heaps, and pruning store instead of reallocating them.
+	sc := core.GetScratch()
+	defer sc.Release()
 	for k := 1; k <= maxCycles; k++ {
-		res, err := routeFixedLatency(p, T, l, k, opts, total)
+		sc.Arena.Reset()
+		sc.ResetWaves() // a feasible arrival returns mid-drain
+		res, err := routeFixedLatency(p, T, l, k, opts, total, sc)
 		if err == nil {
 			res.Stats.Elapsed = time.Since(start)
 			return res, nil
@@ -106,8 +112,8 @@ func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.
 }
 
 // routeFixedLatency searches for any feasible solution with latency exactly
-// k·T (source launch at −k·T).
-func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts core.Options, total *core.Stats) (*Result, error) {
+// k·T (source launch at −k·T), on working memory borrowed from sc.
+func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts core.Options, total *core.Stats, sc *core.Scratch) (*Result, error) {
 	g, m := p.Grid, p.Model
 	tc := m.Tech()
 	reg := tc.Register
@@ -120,15 +126,11 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 	// Candidates reuse the core representation: Slack holds the deadline,
 	// Regs the latch count. Waves iterate over latch count, pruned by the
 	// 3-D (c, d, deadline) store.
-	store := candidate.NewTriStore(g.NumNodes())
-	waves := []*pqueue.Heap[*candidate.Candidate]{{}}
-	waveAt := func(w int) *pqueue.Heap[*candidate.Candidate] {
-		for len(waves) <= w {
-			waves = append(waves, &pqueue.Heap[*candidate.Candidate]{})
-		}
-		return waves[w]
-	}
+	store := sc.PrepStore(0, g.NumNodes(), true)
 	stats := core.Stats{}
+	// MaxQSize counts candidates across all wave heaps; a running push/pop
+	// balance tracks it in O(1) instead of summing every heap per push.
+	nWaves, queued := 1, 0
 	push := func(w int, c *candidate.Candidate) {
 		if !opts.DisablePruning {
 			if !store.Insert(c) {
@@ -136,22 +138,22 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 				return
 			}
 		}
-		waveAt(w).Push(c.D, c)
-		stats.Pushed++
-		n := 0
-		for _, q := range waves {
-			n += q.Len()
+		sc.Wave(w).Push(c.D, c)
+		if w >= nWaves {
+			nWaves = w + 1
 		}
-		if n > stats.MaxQSize {
-			stats.MaxQSize = n
+		stats.Pushed++
+		queued++
+		if queued > stats.MaxQSize {
+			stats.MaxQSize = queued
 		}
 	}
 
 	// Initial candidate at the sink register: deadline = −Setup(reg).
-	push(0, &candidate.Candidate{
+	push(0, sc.Arena.New(candidate.Candidate{
 		C: reg.C, D: 0, Slack: -reg.Setup,
 		Node: int32(p.Sink), Gate: candidate.GateRegister,
-	})
+	}))
 
 	finishStats := func() {
 		total.Configs += stats.Configs
@@ -163,8 +165,8 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 		}
 	}
 
-	for cur := 0; cur < len(waves); cur++ {
-		q := waves[cur]
+	for cur := 0; cur < nWaves; cur++ {
+		q := sc.Wave(cur)
 		if q.Len() == 0 {
 			continue
 		}
@@ -175,6 +177,7 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 		}
 		for q.Len() > 0 {
 			_, c, _ := q.Pop()
+			queued--
 			if c.Dead {
 				continue
 			}
@@ -223,10 +226,10 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 				if launch+d2 > c.Slack || d2 > T {
 					return
 				}
-				push(cur, &candidate.Candidate{
+				push(cur, sc.Arena.New(candidate.Candidate{
 					C: c2, D: d2, Slack: c.Slack, Node: int32(v),
 					Gate: candidate.GateNone, Regs: c.Regs, Parent: c,
-				})
+				}))
 			})
 
 			if !g.Insertable(u) || c.Gate != candidate.GateNone ||
@@ -241,10 +244,10 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 				if launch+d2 > c.Slack || d2 > T {
 					continue
 				}
-				push(cur, &candidate.Candidate{
+				push(cur, sc.Arena.New(candidate.Candidate{
 					C: c2, D: d2, Slack: c.Slack, Node: c.Node,
 					Gate: candidate.Gate(bi), Regs: c.Regs, Parent: c,
-				})
+				}))
 			}
 
 			// Latch insertion: latch j+1 in slot [-(j+2)T/2, -(j+1)T/2).
@@ -268,10 +271,10 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 			if launch > deadline {
 				continue // the launch edge itself cannot reach this latch
 			}
-			push(cur+1, &candidate.Candidate{
+			push(cur+1, sc.Arena.New(candidate.Candidate{
 				C: l.C, D: 0, Slack: deadline, Node: c.Node,
 				Gate: candidate.GateLatch, Regs: c.Regs + 1, Parent: c,
-			})
+			}))
 		}
 	}
 	finishStats()
