@@ -2,9 +2,9 @@
 # suite under the race detector (the parallel planner engine and the
 # telemetry sinks make -race load-bearing, not optional), and survive a
 # short fuzzing pass over every decoder that accepts untrusted bytes.
-.PHONY: tier1 build vet test race fuzz-smoke bench bench-core bench-telemetry obs-demo tables
+.PHONY: tier1 build vet test race fuzz-smoke chaos bench bench-core bench-telemetry obs-demo tables
 
-tier1: build vet race fuzz-smoke
+tier1: build vet race chaos fuzz-smoke
 
 build:
 	go build ./...
@@ -30,6 +30,15 @@ fuzz-smoke:
 	go test -run xxx -fuzz '^FuzzStoreInsert$$' -fuzztime $(FUZZTIME) ./internal/candidate
 	go test -run xxx -fuzz '^FuzzDecodeRouteRequest$$' -fuzztime $(FUZZTIME) ./api
 	go test -run xxx -fuzz '^FuzzDecodePlanRequest$$' -fuzztime $(FUZZTIME) ./api
+
+# Fault-injection battery under the race detector: the faultpoint
+# registry's own tests, the chaos suite (panic containment, scratch
+# quarantine, retry-once healing, service survival, goroutine-leak
+# checks), and one env-armed run proving the FAULTPOINTS activation path
+# end to end.
+chaos:
+	go test -race -count=1 ./internal/faultpoint ./internal/chaos
+	FAULTPOINTS=core.wave_push=panic@100 go test -race -count=1 -run '^TestChaosEnvSmoke$$' ./internal/chaos
 
 # Reduced-scale paper benchmarks (Tables I-III, figures, ablations) plus
 # the parallel batch-routing benchmark.

@@ -13,9 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"clockroute/api"
@@ -49,9 +51,19 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // (default 4; values < 1 mean 1).
 func WithMaxAttempts(n int) Option { return func(c *Client) { c.maxAttempts = n } }
 
-// WithBackoff sets the base retry delay; attempt k waits base<<k, capped
-// at 30s, unless the server's Retry-After asks for more (default 100ms).
+// WithBackoff sets the base retry delay; attempt k waits roughly base<<k,
+// capped at 30s and jittered, unless the server's Retry-After asks for
+// more (default 100ms).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithJitterSeed makes the backoff jitter deterministic, for tests that
+// assert exact retry schedules. Production clients should leave it unset:
+// unseeded clients draw from a shared random source, which is the point
+// of jitter — many clients shed by the same 429 spread their retries out
+// instead of stampeding back in lockstep.
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
 
 // Client calls one routing service instance. It is safe for concurrent
 // use.
@@ -60,6 +72,9 @@ type Client struct {
 	hc          *http.Client
 	maxAttempts int
 	backoff     time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // nil: use the global source
 }
 
 // New builds a client for the service at baseURL (e.g.
@@ -165,18 +180,39 @@ type retryAfterError struct {
 
 func (e *retryAfterError) Unwrap() error { return e.APIError }
 
-// delay resolves the wait before the attempt-th try (attempt >= 1): the
-// server's Retry-After when given and larger, else exponential backoff.
+// delay resolves the wait before the attempt-th try (attempt >= 1):
+// exponential backoff with equal jitter — half the exponential step is
+// kept, the other half is drawn uniformly at random — so a fleet of
+// clients rejected together retries spread out, not in synchronized
+// waves. The server's Retry-After is a floor: when it asks for more than
+// the jittered delay, it wins.
 func (c *Client) delay(attempt int, lastErr error) time.Duration {
 	d := c.backoff << (attempt - 1)
 	if d > 30*time.Second {
 		d = 30 * time.Second
+	}
+	if d > 1 {
+		d = d/2 + c.jitter(d/2+1)
 	}
 	var ra *retryAfterError
 	if errors.As(lastErr, &ra) && ra.after > d {
 		d = ra.after
 	}
 	return d
+}
+
+// jitter draws a uniform duration in [0, n) from the client's seeded
+// source, or the process-global one when unseeded.
+func (c *Client) jitter(n time.Duration) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	if c.rng != nil {
+		return time.Duration(c.rng.Int63n(int64(n)))
+	}
+	return time.Duration(rand.Int63n(int64(n)))
 }
 
 // retryAfter parses a Retry-After header in seconds (0 when absent).

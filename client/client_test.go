@@ -133,6 +133,46 @@ func TestBackoffHonorsContext(t *testing.T) {
 	}
 }
 
+// TestBackoffJitter pins the jitter contract: every delay lands in the
+// equal-jitter window [step/2, step), two clients with the same seed
+// produce identical schedules, and the server's Retry-After still floors
+// the jittered value.
+func TestBackoffJitter(t *testing.T) {
+	base := 100 * time.Millisecond
+	a := New("http://unused", WithBackoff(base), WithJitterSeed(42))
+	b := New("http://unused", WithBackoff(base), WithJitterSeed(42))
+	for attempt := 1; attempt <= 6; attempt++ {
+		step := base << (attempt - 1)
+		da := a.delay(attempt, nil)
+		db := b.delay(attempt, nil)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v and %v", attempt, da, db)
+		}
+		if da < step/2 || da >= step {
+			t.Fatalf("attempt %d: delay %v outside jitter window [%v, %v)", attempt, da, step/2, step)
+		}
+	}
+
+	// Retry-After larger than the jittered exponential wins.
+	ra := &retryAfterError{APIError: &APIError{StatusCode: 429}, after: 7 * time.Second}
+	if d := a.delay(1, ra); d != 7*time.Second {
+		t.Fatalf("delay with Retry-After floor = %v, want 7s", d)
+	}
+
+	// Different seeds should disagree somewhere across a few attempts.
+	c := New("http://unused", WithBackoff(base), WithJitterSeed(43))
+	same := true
+	d := New("http://unused", WithBackoff(base), WithJitterSeed(42))
+	for attempt := 1; attempt <= 6; attempt++ {
+		if c.delay(attempt, nil) != d.delay(attempt, nil) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 6-step schedules")
+	}
+}
+
 // TestClientAgainstRealServer closes the loop: the typed client against
 // the real service handler end to end.
 func TestClientAgainstRealServer(t *testing.T) {

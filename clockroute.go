@@ -160,6 +160,13 @@ var ErrNoPath = core.ErrNoPath
 // ErrNoPath: an aborted search says nothing about feasibility.
 var ErrAborted = core.ErrAborted
 
+// ErrInternal is returned when a search died in a contained panic (a bug
+// or an injected fault): the search's pooled scratch was quarantined and
+// the process kept running. The concrete *core.InternalError in the chain
+// carries the panicking stack. Like ErrAborted, it says nothing about
+// feasibility — the planner retries such nets once on a fresh scratch.
+var ErrInternal = core.ErrInternal
+
 // Pt is shorthand for Point{x, y}.
 func Pt(x, y int) Point { return geom.Pt(x, y) }
 

@@ -27,6 +27,7 @@ import (
 
 	"clockroute/internal/cliutil"
 	"clockroute/internal/core"
+	"clockroute/internal/faultpoint"
 	"clockroute/internal/floorplan"
 	"clockroute/internal/planner"
 	"clockroute/internal/tech"
@@ -43,6 +44,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort routing after this long (0 = unlimited)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /progress, and /debug/pprof on this address (empty = off)")
 		traceFile   = flag.String("trace", "", "append JSONL span events to this file (empty = off)")
+		faultpoints = flag.String("faultpoints", "", "arm fault-injection points, e.g. 'core.wave_push=panic@3' (also via FAULTPOINTS env)")
 		verbose     = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
@@ -67,6 +69,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *faultpoints != "" {
+		if err := faultpoint.Set(*faultpoints); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		log.Warn("fault injection armed", "points", faultpoint.List())
 	}
 
 	// Observability wiring: every enabled consumer — the expvar-published

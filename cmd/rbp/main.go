@@ -18,6 +18,7 @@ import (
 	"clockroute/internal/cliutil"
 	"clockroute/internal/core"
 	"clockroute/internal/elmore"
+	"clockroute/internal/faultpoint"
 	"clockroute/internal/grid"
 	"clockroute/internal/route"
 	"clockroute/internal/tech"
@@ -37,6 +38,7 @@ func main() {
 		timeout                          = flag.Duration("timeout", 0, "abort the search after this long (0 = unlimited)")
 		metricsAddr                      = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = off)")
 		traceFile                        = flag.String("trace", "", "append JSONL span events to this file (empty = off)")
+		faultpoints                      = flag.String("faultpoints", "", "arm fault-injection points, e.g. 'core.wave_push=panic@3' (also via FAULTPOINTS env)")
 		obstacles, wireblocks, regblocks cliutil.RectList
 	)
 	flag.Var(&obstacles, "obstacle", "physical obstacle rect x0,y0,x1,y1 (repeatable)")
@@ -54,6 +56,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *faultpoints != "" {
+		if err := faultpoint.Set(*faultpoints); err != nil {
+			usage(err)
+		}
+		log.Warn("fault injection armed", "points", faultpoint.List())
 	}
 	w, h, err := cliutil.ParseGridSize(*gridSize)
 	if err != nil {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"clockroute/internal/cliutil"
+	"clockroute/internal/faultpoint"
 	"clockroute/internal/server"
 	"clockroute/internal/telemetry"
 )
@@ -51,6 +52,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight searches are aborted")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /progress, and /debug/pprof on this address (empty = off)")
 		traceFile    = flag.String("trace", "", "append JSONL span events to this file (empty = off)")
+		faultpoints  = flag.String("faultpoints", "", "arm fault-injection points, e.g. 'core.wave_push=panic@3,sink.write=delay:5ms' (also via FAULTPOINTS env)")
 		verbose      = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
@@ -76,6 +78,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *faultpoints != "" {
+		if err := faultpoint.Set(*faultpoints); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		log.Warn("fault injection armed", "points", faultpoint.List())
 	}
 
 	// Observability wiring mirrors cmd/planner: the process-wide metrics
@@ -121,6 +130,10 @@ func main() {
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		// net/http logs accept errors, TLS handshake failures, and handler
+		// panics it recovers itself through this logger; without it they go
+		// straight to stderr, bypassing the structured log stream.
+		ErrorLog: slog.NewLogLogger(log.Handler(), slog.LevelError),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -11,7 +11,11 @@
 // backward walk.
 package candidate
 
-import "math"
+import (
+	"math"
+
+	"clockroute/internal/faultpoint"
+)
 
 // Gate identifies the element a candidate inserted at its node.
 // Non-negative values index the technology's buffer library.
@@ -106,6 +110,9 @@ func (a *Arena) New(c Candidate) *Candidate {
 		a.used = 0
 	}
 	if a.cur == len(a.blocks) {
+		// arena.grow fires on slab growth only — the rare branch — so an
+		// armed failpoint injects mid-search without taxing every New.
+		faultpoint.Must("arena.grow")
 		a.blocks = append(a.blocks, make([]Candidate, arenaBlock))
 	}
 	p := &a.blocks[a.cur][a.used]

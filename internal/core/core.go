@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -37,6 +38,52 @@ var ErrNoPath = errors.New("core: no feasible routing solution")
 // distinct from ErrNoPath — an aborted search says nothing about
 // feasibility.
 var ErrAborted = errors.New("core: search aborted")
+
+// ErrInternal is the sentinel wrapped by every contained panic: a search
+// body (or anything else inside a recovery boundary) that panics surfaces
+// as an error wrapping ErrInternal instead of crashing the process. Match
+// with errors.Is; the concrete *InternalError carries the panic value and
+// the stack captured at the recovery point.
+var ErrInternal = errors.New("core: internal error (contained panic)")
+
+// InternalError is a panic contained at a recovery boundary — the exported
+// search wrappers, the batch engine's workers, and the HTTP service all
+// classify recovered panics this way so a latent bug in one search fails
+// that one search (or net, or request), never the process.
+type InternalError struct {
+	// Cause is the recovered panic value.
+	Cause any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+// NewInternalError classifies a recovered panic value. A nil stack
+// captures the current goroutine's stack, so call it directly inside the
+// recover branch.
+func NewInternalError(cause any, stack []byte) *InternalError {
+	if stack == nil {
+		stack = debug.Stack()
+	}
+	return &InternalError{Cause: cause, Stack: stack}
+}
+
+// Error implements error. The stack is kept off the one-line message
+// (which ends up in JSON error bodies and telemetry events); diagnostics
+// that want it unwrap to *InternalError and read Stack.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrInternal, e.Cause)
+}
+
+// Unwrap ties the error to ErrInternal and, when the panic value was
+// itself an error (e.g. an injected faultpoint), to that cause — so
+// errors.Is sees through the containment to both.
+func (e *InternalError) Unwrap() []error {
+	out := []error{ErrInternal}
+	if c, ok := e.Cause.(error); ok {
+		out = append(out, c)
+	}
+	return out
+}
 
 // Tracer observes the search for visualization and diagnostics.
 // Implementations must be cheap; the router calls Visit for every candidate

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"clockroute/internal/candidate"
+	"clockroute/internal/faultpoint"
 )
 
 // FastPath finds the minimum Elmore-delay buffered path from the problem's
@@ -13,9 +14,9 @@ import (
 // are modeled as registers (g_s = g_t = r) so results are directly
 // comparable with RBP: the reported Latency is the full source-to-sink
 // delay including the driver delay and the sink setup.
-func FastPath(p *Problem, opts Options) (*Result, error) {
+func FastPath(p *Problem, opts Options) (res *Result, err error) {
 	sc := GetScratch()
-	defer sc.Release()
+	defer containSearchPanic(sc, &res, &err)
 	return fastPath(p, opts, sc)
 }
 
@@ -32,6 +33,7 @@ func fastPath(p *Problem, opts Options, sc *Scratch) (*Result, error) {
 	res := &Result{}
 
 	push := func(c *candidate.Candidate, key float64) {
+		faultpoint.Must("core.wave_push")
 		if !opts.DisablePruning && !c.Final {
 			if !store.Insert(c) {
 				res.Stats.Pruned++

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"clockroute/internal/candidate"
+	"clockroute/internal/faultpoint"
 )
 
 // latencyEps groups Q* entries whose accumulated latencies differ only by
@@ -23,9 +24,9 @@ const latencyEps = 1e-6
 // the sink. Q is ordered by combinational delay d; Q* by l, and wavefronts
 // of equal l are extracted together since candidates with different
 // latencies are incomparable.
-func GALS(p *Problem, Ts, Tt float64, opts Options) (*Result, error) {
+func GALS(p *Problem, Ts, Tt float64, opts Options) (res *Result, err error) {
 	sc := GetScratch()
-	defer sc.Release()
+	defer containSearchPanic(sc, &res, &err)
 	return gals(p, Ts, Tt, opts, sc)
 }
 
@@ -64,6 +65,7 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch) (*Result, error
 
 	res := &Result{}
 	pushQ := func(c *candidate.Candidate) {
+		faultpoint.Must("core.wave_push")
 		if !opts.DisablePruning {
 			if !stores[c.Z].Insert(c) {
 				res.Stats.Pruned++

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"clockroute/internal/candidate"
+	"clockroute/internal/faultpoint"
 )
 
 // rbpEngine holds the state shared by both RBP implementations: the pruning
@@ -59,6 +60,7 @@ type arrival struct {
 // tryEmit applies dominance pruning against st (nil = no pruning) and
 // forwards to emit.
 func (e *rbpEngine) tryEmit(wave int, c *candidate.Candidate, key float64, st *candidate.Store) {
+	faultpoint.Must("core.wave_push")
 	if st != nil && !e.opts.DisablePruning {
 		if !st.Insert(c) {
 			e.res.Stats.Pruned++
@@ -191,9 +193,9 @@ func (e *rbpEngine) close(a *arrival, wave int, start time.Time) *Result {
 // the same wave (comparing across register counts is unsound, Fig. 4). This
 // is the published two-queue formulation: Q holds the current wave ordered
 // by delay, Q* accumulates the next wave, and Q = Q*, Q* = ∅ on exhaustion.
-func RBP(p *Problem, T float64, opts Options) (*Result, error) {
+func RBP(p *Problem, T float64, opts Options) (res *Result, err error) {
 	sc := GetScratch()
-	defer sc.Release()
+	defer containSearchPanic(sc, &res, &err)
 	return rbp(p, T, opts, sc)
 }
 
@@ -272,9 +274,9 @@ func rbp(p *Problem, T float64, opts Options, sc *Scratch) (*Result, error) {
 // candidate inserted into the queue of its own wave. Results are identical
 // to RBP; the array trades memory (all wave heaps live simultaneously) for
 // not having to swap queues.
-func RBPArrayQueues(p *Problem, T float64, opts Options) (*Result, error) {
+func RBPArrayQueues(p *Problem, T float64, opts Options) (res *Result, err error) {
 	sc := GetScratch()
-	defer sc.Release()
+	defer containSearchPanic(sc, &res, &err)
 	return rbpArrayQueues(p, T, opts, sc)
 }
 

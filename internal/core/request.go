@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"clockroute/internal/faultpoint"
 	"clockroute/internal/telemetry"
 )
 
@@ -80,6 +81,13 @@ func Route(ctx context.Context, p *Problem, req Request) (*Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrAborted, err)
+	}
+	// core.search is the error-injection site of the chaos suite: unlike
+	// the panic-oriented sites inside the search bodies it has an error
+	// return, so injected errors surface exactly like organic search
+	// failures (and panic mode is contained by the wrappers below).
+	if err := faultpoint.Check("core.search"); err != nil {
+		return nil, err
 	}
 	opts := withContext(ctx, req.Options)
 	if opts.Telemetry == nil {

@@ -3,9 +3,11 @@ package core
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"clockroute/internal/candidate"
 	"clockroute/internal/pqueue"
+	"clockroute/internal/telemetry"
 )
 
 // Scratch bundles the working memory of one search: the candidate arena,
@@ -60,8 +62,51 @@ func GetScratch() *Scratch {
 
 // Release returns sc to the pool. The caller must not touch sc — or any
 // candidate allocated from its arena — afterwards.
+//
+// Never Release a scratch whose search panicked: a panic mid-wave can
+// leave the arena, heaps, or epoch stamps in a state that violates their
+// invariants, and a corrupt pooled scratch would poison an unrelated
+// later search. Quarantine it instead — the recovery boundaries in the
+// exported search wrappers do exactly that.
 func (s *Scratch) Release() {
 	scratchPool.Put(s)
+}
+
+// quarantined counts scratches dropped instead of pooled after a
+// contained panic.
+var quarantined atomic.Int64
+
+// Quarantine discards s instead of returning it to the pool: the caller's
+// search panicked, so none of s's invariants can be trusted and the memory
+// must not be recycled into another search. The scratch is simply left for
+// the garbage collector; the pool replaces it with a fresh zero-value
+// instance on demand. Counted both process-locally (ScratchQuarantines)
+// and on the default telemetry registry.
+func (s *Scratch) Quarantine() {
+	quarantined.Add(1)
+	telemetry.Default().ScratchQuarantines.Inc()
+}
+
+// ScratchQuarantines reports how many pooled scratches have been
+// quarantined process-wide since start.
+func ScratchQuarantines() int64 { return quarantined.Load() }
+
+// containSearchPanic is the deferred recovery boundary shared by every
+// exported search wrapper (FastPath, RBP, RBPArrayQueues, GALS, and the
+// latch router): a panic anywhere in the search body is classified as an
+// *InternalError with the panicking stack, and the borrowed scratch is
+// quarantined — never released — because its invariants cannot be trusted
+// after a mid-wave panic. On the normal path it releases the scratch.
+//
+// Deferred functions run before the stack unwinds, so the stack captured
+// here still shows the panicking frames.
+func containSearchPanic(sc *Scratch, res **Result, err *error) {
+	if r := recover(); r != nil {
+		sc.Quarantine()
+		*res, *err = nil, NewInternalError(r, nil)
+		return
+	}
+	sc.Release()
 }
 
 // PrepStore returns the i-th reusable Pareto store (i in [0, 2)), prepared

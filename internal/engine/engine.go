@@ -14,8 +14,11 @@ package engine
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"clockroute/internal/faultpoint"
 )
 
 // Workers resolves a requested worker count: values <= 0 select
@@ -44,11 +47,39 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	})
 }
 
+// MapIndexedRecover is MapIndexed with per-task panic containment: a task
+// that panics is recovered on its worker goroutine and its result slot is
+// filled by onPanic(i, v, stack) instead of crashing the pool (a panic on
+// a bare worker goroutine would kill the whole process — no caller can
+// recover it). The surviving tasks are unaffected; determinism is
+// unchanged. The planner routes every batch through this boundary, so a
+// panic that escapes the search layer's own containment (e.g. in result
+// verification or telemetry) still degrades to a single failed net.
+//
+// The engine.task failpoint fires before each task runs, letting the
+// chaos suite drive this boundary directly.
+func MapIndexedRecover[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, worker, i int) T, onPanic func(i int, v any, stack []byte) T) []T {
+	return MapIndexed(ctx, workers, n, func(ctx context.Context, worker, i int) (out T) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = onPanic(i, r, debug.Stack())
+			}
+		}()
+		faultpoint.Must("engine.task")
+		return fn(ctx, worker, i)
+	})
+}
+
 // MapIndexed is Map with the claiming worker's index passed to fn
 // (0 <= worker < Workers(workers, n)). The worker index identifies the
 // goroutine, not the task: telemetry uses it to attribute per-net spans to
 // pool slots and to measure worker utilization. Determinism is unchanged —
 // results depend only on the task index.
+//
+// A panicking task is NOT contained here: the panic propagates on the
+// worker goroutine and takes the process down, exactly like a panic in a
+// plain `go` statement. Callers running untrusted or intricate task bodies
+// should use MapIndexedRecover.
 func MapIndexed[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, worker, i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {

@@ -120,3 +120,40 @@ func TestWorkers(t *testing.T) {
 		t.Errorf("Workers(-2, 0) = %d, want 1", w)
 	}
 }
+
+// TestMapIndexedRecoverContainsPanics: panicking tasks are replaced by
+// onPanic's value (with the panicking stack captured) while surviving
+// tasks run untouched, in index order, on every worker count.
+func TestMapIndexedRecoverContainsPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var stacks atomic.Int64
+		got := MapIndexedRecover(context.Background(), workers, 20,
+			func(_ context.Context, _, i int) int {
+				if i%5 == 3 {
+					panic(i)
+				}
+				return i * 10
+			},
+			func(i int, v any, stack []byte) int {
+				if v.(int) != i {
+					t.Errorf("onPanic got value %v for task %d", v, i)
+				}
+				if len(stack) > 0 {
+					stacks.Add(1)
+				}
+				return -1
+			})
+		for i, v := range got {
+			want := i * 10
+			if i%5 == 3 {
+				want = -1
+			}
+			if v != want {
+				t.Errorf("workers=%d: slot %d = %d, want %d", workers, i, v, want)
+			}
+		}
+		if stacks.Load() != 4 {
+			t.Errorf("workers=%d: %d stacks captured, want 4", workers, stacks.Load())
+		}
+	}
+}

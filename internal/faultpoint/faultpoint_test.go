@@ -1,0 +1,213 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// reset restores the inactive state after each test so the global
+// registry never leaks between tests.
+func reset(t *testing.T) {
+	t.Helper()
+	t.Cleanup(Reset)
+}
+
+func TestInactiveIsNoOp(t *testing.T) {
+	reset(t)
+	if Active() {
+		t.Fatal("registry armed with nothing enabled")
+	}
+	if err := Check("core.wave_push"); err != nil {
+		t.Fatalf("inactive Check = %v", err)
+	}
+	Must("core.wave_push") // must not panic
+}
+
+func TestErrorMode(t *testing.T) {
+	reset(t)
+	if err := Set("x=error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Check("x")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Check = %v, want ErrInjected", err)
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Name != "x" || inj.Hit != 1 {
+		t.Fatalf("injected = %+v", inj)
+	}
+	if err := Check("other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if got := Hits("x"); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	reset(t)
+	if err := Enable("p", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic-mode failpoint did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v, want error wrapping ErrInjected", r)
+		}
+	}()
+	Check("p")
+}
+
+func TestMustPanicsOnErrorMode(t *testing.T) {
+	reset(t)
+	if err := Enable("m", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Must on an error-mode point did not panic")
+		}
+	}()
+	Must("m")
+}
+
+func TestDelayMode(t *testing.T) {
+	reset(t)
+	if err := Enable("d", "delay:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Check("d"); err != nil {
+		t.Fatalf("delay Check = %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay slept %v, want ~30ms", d)
+	}
+}
+
+func TestHitTrigger(t *testing.T) {
+	reset(t)
+	if err := Set("h=error@3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		err := Check("h")
+		if i == 3 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want injection", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d: err = %v, want nil (single-shot @3)", i, err)
+		}
+	}
+}
+
+func TestSetParsesAndReplaces(t *testing.T) {
+	reset(t)
+	if err := Set("a=panic, b=delay:1ms@7 ,c=error"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	got := List()
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+	// Replacing drops the old points entirely.
+	if err := Set("z=error"); err != nil {
+		t.Fatal(err)
+	}
+	if got := List(); len(got) != 1 || got[0] != "z" {
+		t.Fatalf("after replace List = %v, want [z]", got)
+	}
+	if err := Check("a"); err != nil {
+		t.Fatalf("replaced point still armed: %v", err)
+	}
+	// Empty spec disarms.
+	if err := Set(""); err != nil {
+		t.Fatal(err)
+	}
+	if Active() {
+		t.Fatal("Set(\"\") left the registry armed")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	reset(t)
+	for _, bad := range []string{
+		"noequals",
+		"x=explode",
+		"x=panic:arg",
+		"x=delay:notaduration",
+		"x=delay:-1s",
+		"x=panic@0",
+		"x=panic@abc",
+		"=panic",
+	} {
+		if err := Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted a bad spec", bad)
+		}
+	}
+	if Active() {
+		t.Fatal("failed Set left points armed")
+	}
+}
+
+func TestDisable(t *testing.T) {
+	reset(t)
+	if err := Set("a=error,b=error"); err != nil {
+		t.Fatal(err)
+	}
+	Disable("a")
+	if err := Check("a"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	if !errors.Is(Check("b"), ErrInjected) {
+		t.Fatal("sibling point disarmed by Disable")
+	}
+	Disable("b")
+	if Active() {
+		t.Fatal("registry armed with all points disabled")
+	}
+}
+
+// TestConcurrentCheckAndSet drives Check from many goroutines while the
+// registry is re-armed and reset — the -race gate for the registry locks.
+func TestConcurrentCheckAndSet(t *testing.T) {
+	reset(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Check("c")
+					Must("absent")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if err := Set("c=delay:0s"); err != nil {
+			t.Error(err)
+		}
+		Hits("c")
+		Reset()
+	}
+	close(stop)
+	wg.Wait()
+}

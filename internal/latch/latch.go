@@ -46,6 +46,7 @@ import (
 
 	"clockroute/internal/candidate"
 	"clockroute/internal/core"
+	"clockroute/internal/faultpoint"
 	"clockroute/internal/route"
 	"clockroute/internal/tech"
 )
@@ -72,7 +73,7 @@ const MaxCyclesDefault = 64
 // Route finds the minimum-latency latch-buffered path for clock period T.
 // l is the latch element (tech.Tech.Latch() derives one from the register);
 // maxCycles bounds the latency search in clock cycles (0 = default).
-func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.Options) (*Result, error) {
+func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.Options) (res *Result, err error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("latch: non-positive clock period %g", T)
 	}
@@ -93,9 +94,19 @@ func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.
 	total := &core.Stats{}
 	// One pooled scratch serves the whole iterative deepening: each latency
 	// iteration recycles the previous iteration's candidates (its arena),
-	// wave heaps, and pruning store instead of reallocating them.
+	// wave heaps, and pruning store instead of reallocating them. The
+	// recovery boundary mirrors the core wrappers: a panic anywhere in the
+	// deepening quarantines the scratch (its invariants are suspect) and
+	// surfaces as a core.ErrInternal instead of killing the process.
 	sc := core.GetScratch()
-	defer sc.Release()
+	defer func() {
+		if r := recover(); r != nil {
+			sc.Quarantine()
+			res, err = nil, core.NewInternalError(r, nil)
+			return
+		}
+		sc.Release()
+	}()
 	for k := 1; k <= maxCycles; k++ {
 		sc.Arena.Reset()
 		sc.ResetWaves() // a feasible arrival returns mid-drain
@@ -132,6 +143,7 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 	// balance tracks it in O(1) instead of summing every heap per push.
 	nWaves, queued := 1, 0
 	push := func(w int, c *candidate.Candidate) {
+		faultpoint.Must("core.wave_push")
 		if !opts.DisablePruning {
 			if !store.Insert(c) {
 				stats.Pruned++

@@ -21,6 +21,7 @@ import (
 	"clockroute/internal/core"
 	"clockroute/internal/elmore"
 	"clockroute/internal/engine"
+	"clockroute/internal/faultpoint"
 	"clockroute/internal/floorplan"
 	"clockroute/internal/geom"
 	"clockroute/internal/grid"
@@ -95,8 +96,19 @@ type NetResult struct {
 	Spec NetSpec
 	Mode Mode
 	// Err is non-nil when the net could not be routed; the other fields are
-	// then zero.
+	// then zero. A contained panic is classified here as an error wrapping
+	// core.ErrInternal (the concrete *core.InternalError carries the
+	// panicking stack); an injected fault additionally matches
+	// faultpoint.ErrInjected.
 	Err error
+	// Panicked reports that at least one routing attempt for this net died
+	// in a contained panic — even when a retry then succeeded and Err is
+	// nil.
+	Panicked bool
+	// Retried reports the net was re-run once on a fresh pooled scratch
+	// after a panicked or injected-fault first attempt (the planner's
+	// retry-once policy; see retryable).
+	Retried bool
 
 	Path      *route.Path
 	LatencyPS float64
@@ -138,6 +150,12 @@ type PlanStats struct {
 	// NetsRouted / NetsFailed split the nets by outcome.
 	NetsRouted int
 	NetsFailed int
+	// NetsPanicked counts nets with at least one contained-panic attempt;
+	// NetsRetried counts nets re-run under the retry-once policy. A net
+	// that panicked and then routed cleanly on retry appears in NetsRouted,
+	// NetsPanicked, and NetsRetried at once.
+	NetsPanicked int
+	NetsRetried  int
 	// Elapsed is the wall time of the whole plan; with workers > 1 it is
 	// less than the sum of the per-net Elapsed times.
 	Elapsed time.Duration
@@ -149,6 +167,12 @@ func (s *PlanStats) add(n *NetResult) {
 		s.NetsFailed++
 	} else {
 		s.NetsRouted++
+	}
+	if n.Panicked {
+		s.NetsPanicked++
+	}
+	if n.Retried {
+		s.NetsRetried++
 	}
 	s.TotalConfigs += n.Configs
 	s.TotalPushed += n.Stats.Pushed
@@ -267,15 +291,45 @@ func (pl *Planner) RouteNetContext(ctx context.Context, spec NetSpec) NetResult 
 // routeNet routes one net with an explicit option set — RunParallel clones
 // the planner's options per net to label telemetry with the net name and
 // worker index without mutating shared state.
+//
+// Retry-once policy: when the whole width pass fails with a contained
+// panic or an injected fault, the net is re-run exactly once. The first
+// attempt's scratch was quarantined at the containment boundary, so the
+// retry runs on a fresh pooled scratch; deterministic failures (ErrNoPath,
+// aborts, validation) are never retried, and a second panicked attempt is
+// reported as the net's failure.
 func (pl *Planner) routeNet(ctx context.Context, spec NetSpec, opts core.Options) NetResult {
 	start := time.Now()
+	best := pl.routeNetWidths(ctx, spec, opts)
+	if best.Err != nil && retryable(best.Err) && ctx.Err() == nil {
+		panicked := best.Panicked
+		best = pl.routeNetWidths(ctx, spec, opts)
+		best.Panicked = best.Panicked || panicked
+		best.Retried = true
+	}
+	best.Elapsed = time.Since(start)
+	return best
+}
+
+// retryable reports whether err warrants the planner's single retry: a
+// contained panic (the scratch was quarantined, a fresh one may well
+// succeed) or an injected faultpoint error (transient by construction).
+func retryable(err error) bool {
+	return errors.Is(err, core.ErrInternal) || errors.Is(err, faultpoint.ErrInjected)
+}
+
+// routeNetWidths runs one attempt over the spec's width ladder, keeping
+// the best feasible result.
+func (pl *Planner) routeNetWidths(ctx context.Context, spec NetSpec, opts core.Options) NetResult {
 	widths := spec.WireWidths
 	if len(widths) == 0 {
 		widths = []float64{1}
 	}
 	best := NetResult{Spec: spec, Err: fmt.Errorf("planner: net %q: no widths", spec.Name)}
+	panicked := false
 	for _, w := range widths {
 		res := pl.routeNetAtWidth(ctx, spec, w, opts)
+		panicked = panicked || res.Panicked
 		if res.Err != nil {
 			if best.Err != nil {
 				best = res
@@ -289,7 +343,7 @@ func (pl *Planner) routeNet(ctx context.Context, spec NetSpec, opts core.Options
 			best = res
 		}
 	}
-	best.Elapsed = time.Since(start)
+	best.Panicked = panicked
 	return best
 }
 
@@ -333,6 +387,7 @@ func (pl *Planner) routeNetAtWidth(ctx context.Context, spec NetSpec, width floa
 	}
 	if err != nil {
 		out.Err = fmt.Errorf("planner: net %q: %w", spec.Name, err)
+		out.Panicked = errors.Is(err, core.ErrInternal)
 		return out
 	}
 
@@ -398,11 +453,21 @@ func (pl *Planner) RunParallel(ctx context.Context, workers int, specs []NetSpec
 		}
 	}
 	start := time.Now()
-	nets := engine.MapIndexed(ctx, workers, len(specs), func(ctx context.Context, worker, i int) NetResult {
+	// MapIndexedRecover is the second containment line behind the search
+	// wrappers' own recovery: a panic escaping routeNet (verification,
+	// telemetry, a bug in this package) fails that one net instead of
+	// crashing the whole batch on a bare worker goroutine.
+	nets := engine.MapIndexedRecover(ctx, workers, len(specs), func(ctx context.Context, worker, i int) NetResult {
 		if sink == nil {
 			return pl.routeNet(ctx, specs[i], opts)
 		}
 		return pl.routeNetTraced(ctx, specs[i], opts, worker)
+	}, func(i int, v any, stack []byte) NetResult {
+		return NetResult{
+			Spec:     specs[i],
+			Panicked: true,
+			Err:      fmt.Errorf("planner: net %q: %w", specs[i].Name, core.NewInternalError(v, stack)),
+		}
 	})
 	plan := &Plan{Floorplan: pl.fp, Grid: pl.g, Model: pl.m, Nets: nets}
 	plan.Stats = PlanStats{Workers: workers, Elapsed: time.Since(start)}

@@ -19,12 +19,15 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clockroute/api"
 	"clockroute/internal/core"
+	"clockroute/internal/faultpoint"
 	"clockroute/internal/tech"
 	"clockroute/internal/telemetry"
 )
@@ -45,6 +48,11 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxWorkers clamps a PlanRequest's workers field (default GOMAXPROCS).
 	MaxWorkers int
+	// PanicDegradeThreshold is the number of contained handler panics
+	// after which /healthz reports "degraded" — the process stays up and
+	// keeps serving, but an orchestrator watching health can rotate the
+	// instance out (default 3; negative disables the degraded state).
+	PanicDegradeThreshold int
 	// Tech is the technology routing runs against (default CongPan70nm).
 	Tech *tech.Tech
 	// Metrics receives the service counters and, as a telemetry sink, the
@@ -70,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.PanicDegradeThreshold == 0 {
+		c.PanicDegradeThreshold = 3
 	}
 	if c.Tech == nil {
 		c.Tech = tech.CongPan70nm()
@@ -100,6 +111,11 @@ type Server struct {
 
 	mux *http.ServeMux
 
+	// panics counts handler panics contained by the recovery middleware;
+	// per-instance (unlike the shared Metrics registry) so the degraded
+	// health threshold is this server's own history.
+	panics atomic.Int64
+
 	// testHookAdmitted, when set, runs after a request wins an in-flight
 	// slot and before its search starts — tests use it to hold requests
 	// in-flight deterministically.
@@ -125,8 +141,43 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler, wrapped in the panic
+// recovery middleware: a panicking handler yields a 500 with the panic
+// classified as core.ErrInternal, increments request_panics, and leaves
+// the process (and every other in-flight request) untouched.
+func (s *Server) Handler() http.Handler { return s.recovered(s.mux) }
+
+// recovered is the service's outermost containment boundary.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity, per net/http contract
+				panic(v) // deliberate connection abort, not a fault
+			}
+			s.panics.Add(1)
+			s.cfg.Metrics.RequestPanics.Inc()
+			// The handlers write their response only as the final step, so
+			// a panicking request has not started its body and a clean 500
+			// can still go out.
+			s.fail(w, http.StatusInternalServerError, core.NewInternalError(v, debug.Stack()))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Panics reports the number of handler panics this server has contained.
+func (s *Server) Panics() int64 { return s.panics.Load() }
+
+// Degraded reports whether contained panics have crossed the configured
+// health threshold.
+func (s *Server) Degraded() bool {
+	t := s.cfg.PanicDegradeThreshold
+	return t > 0 && s.panics.Load() >= int64(t)
+}
 
 // InFlight reports the number of requests currently holding a slot.
 func (s *Server) InFlight() int { return len(s.sem) }
@@ -233,14 +284,22 @@ func (s *Server) requestContext(parent context.Context, timeoutMS int) (context.
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Always HTTP 200 with the state in the body: "degraded" (panic
+	// threshold crossed — still serving, but the instance should be
+	// rotated) is overridden by "draining" (shutdown in progress), which
+	// is the terminal state either way.
 	status := "ok"
+	if s.Degraded() {
+		status = "degraded"
+	}
 	if s.Draining() {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    status,
-		"in_flight": s.InFlight(),
-		"queued":    s.Queued(),
+		"status":         status,
+		"in_flight":      s.InFlight(),
+		"queued":         s.Queued(),
+		"request_panics": s.Panics(),
 	})
 }
 
@@ -250,6 +309,13 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	m.Requests.Inc()
 	defer s.observeLatency(start)
 
+	// server.decode: chaos injection at the request boundary — error mode
+	// maps to a 400 like any malformed body, panic mode exercises the
+	// recovery middleware (500, request_panics, process stays up).
+	if err := faultpoint.Check("server.decode"); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	req, err := api.DecodeRouteRequest(r.Body)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -294,6 +360,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	m.Requests.Inc()
 	defer s.observeLatency(start)
 
+	if err := faultpoint.Check("server.decode"); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	req, err := api.DecodePlanRequest(r.Body)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -365,11 +435,17 @@ func (s *Server) refuse(w http.ResponseWriter, err error) {
 }
 
 // failSearch maps a search error onto its status: infeasibility is 422,
-// an abort is 503 during drain and 504 otherwise, anything else 500.
+// an abort is 503 during drain and 504 otherwise, a contained panic is
+// 500 (counted like a middleware-recovered one — it is the same class of
+// fault, just caught deeper), anything else 500.
 func (s *Server) failSearch(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, core.ErrNoPath):
 		s.fail(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, core.ErrInternal):
+		s.panics.Add(1)
+		s.cfg.Metrics.RequestPanics.Inc()
+		s.fail(w, http.StatusInternalServerError, err)
 	case errors.Is(err, core.ErrAborted):
 		s.cfg.Metrics.RequestAborts.Inc()
 		if s.base.Err() != nil {

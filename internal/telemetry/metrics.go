@@ -162,6 +162,14 @@ type Metrics struct {
 	RequestErrors Counter // non-2xx responses other than sheds
 	Shed          Counter // requests refused by admission control (429)
 	RequestAborts Counter // requests whose search was aborted (504/503)
+	// RequestPanics counts handler panics contained by the server's
+	// recovery middleware (each one a 500, never a crash).
+	RequestPanics Counter
+	// ScratchQuarantines counts pooled search scratches discarded after a
+	// contained panic instead of being returned to the pool (core.Scratch
+	// quarantine rule). Only the Default registry receives these — the
+	// scratch pool is process-global, so per-run registries do not.
+	ScratchQuarantines Counter
 	// RequestLatencyMS buckets each request's wall time in milliseconds.
 	RequestLatencyMS *Histogram
 
@@ -239,6 +247,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		"request_errors": m.RequestErrors.Value(),
 		"shed":           m.Shed.Value(),
 		"request_aborts": m.RequestAborts.Value(),
+		"request_panics": m.RequestPanics.Value(),
+
+		"scratch_quarantines": m.ScratchQuarantines.Value(),
 	}
 	if m.NetLatencyMS != nil {
 		out["net_latency_ms"] = m.NetLatencyMS.snapshot()

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"clockroute/internal/faultpoint"
 )
 
 // JSONL is a Sink writing one JSON object per line to an io.Writer. Writes
@@ -25,11 +27,21 @@ type JSONL struct {
 // (closing files, flushing buffers).
 func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
 
-// Emit implements Sink.
+// Emit implements Sink. Per the Sink contract, a failing writer never
+// propagates into the emitting search: the first error is recorded and
+// every later emission becomes a no-op.
 func (s *JSONL) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
+		return
+	}
+	// sink.write: chaos injection for the telemetry path — error mode
+	// simulates a failing writer (sticky, like a real write error), delay
+	// mode a slow one (the sleep holds the sink lock, exactly like a
+	// blocking io.Writer would).
+	if err := faultpoint.Check("sink.write"); err != nil {
+		s.err = fmt.Errorf("telemetry: %w", err)
 		return
 	}
 	s.seq++

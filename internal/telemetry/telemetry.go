@@ -114,6 +114,16 @@ type Event struct {
 // Sink receives trace events. Implementations must be safe for concurrent
 // use: under the planner's worker pool many searches emit at once.
 // Emit must not retain the event past the call.
+//
+// Failure contract: observability must never take the observed system
+// down. Emit has no error return by design — a sink whose backing store
+// fails (a full disk, a closed pipe) must swallow the error internally
+// and surface it out-of-band (see JSONL.Err's sticky-error pattern);
+// Emit must not panic, and must not block unboundedly: producers call it
+// inline from search hot loops, so a sink that wants to tolerate a slow
+// writer should buffer or drop rather than stall the search. The chaos
+// suite holds searches to this: with sink.write injected to fail or
+// delay, every search still returns its exact result.
 type Sink interface {
 	Emit(Event)
 }

@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+
+	"clockroute/internal/faultpoint"
 )
 
 // TestJSONLOrderingUnderWorkers hammers one JSONL sink from 8 goroutines
@@ -66,6 +69,29 @@ type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) {
 	return 0, &json.UnsupportedValueError{Str: "broken pipe"}
+}
+
+func TestJSONLSinkWriteFaultpoint(t *testing.T) {
+	if err := faultpoint.Enable("sink.write", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Reset()
+
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(Event{Kind: EventSearchStart})
+	if err := s.Err(); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("Err() = %v, want wrapped faultpoint.ErrInjected", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failing sink wrote %d bytes, want none", buf.Len())
+	}
+	// Per the Sink contract the failure is sticky and silent: later
+	// emissions are no-ops, never panics.
+	s.Emit(Event{Kind: EventSearchEnd})
+	if buf.Len() != 0 {
+		t.Fatal("emission after sticky error reached the writer")
+	}
 }
 
 func TestRingRetainsMostRecent(t *testing.T) {
