@@ -2,7 +2,7 @@
 # suite under the race detector (the parallel planner engine and the
 # telemetry sinks make -race load-bearing, not optional), and survive a
 # short fuzzing pass over every decoder that accepts untrusted bytes.
-.PHONY: tier1 build vet test race fuzz-smoke chaos bench bench-core bench-telemetry obs-demo tables
+.PHONY: tier1 build vet test race fuzz-smoke chaos bench bench-core bench-telemetry bench-cache obs-demo tables
 
 tier1: build vet race chaos fuzz-smoke
 
@@ -30,6 +30,7 @@ fuzz-smoke:
 	go test -run xxx -fuzz '^FuzzStoreInsert$$' -fuzztime $(FUZZTIME) ./internal/candidate
 	go test -run xxx -fuzz '^FuzzDecodeRouteRequest$$' -fuzztime $(FUZZTIME) ./api
 	go test -run xxx -fuzz '^FuzzDecodePlanRequest$$' -fuzztime $(FUZZTIME) ./api
+	go test -run xxx -fuzz '^FuzzCanonicalHash$$' -fuzztime $(FUZZTIME) ./api
 
 # Fault-injection battery under the race detector: the faultpoint
 # registry's own tests, the chaos suite (panic containment, scratch
@@ -39,6 +40,8 @@ fuzz-smoke:
 chaos:
 	go test -race -count=1 ./internal/faultpoint ./internal/chaos
 	FAULTPOINTS=core.wave_push=panic@100 go test -race -count=1 -run '^TestChaosEnvSmoke$$' ./internal/chaos
+	go test -race -count=1 ./internal/resultcache
+	go test -race -count=1 -run 'Cache|Conditional' ./internal/server
 
 # Reduced-scale paper benchmarks (Tables I-III, figures, ablations) plus
 # the parallel batch-routing benchmark.
@@ -58,6 +61,14 @@ bench-core:
 bench-telemetry:
 	go test -run xxx -bench BenchmarkRBP -benchmem -benchtime 10x -json . > BENCH_telemetry.json
 	@grep -o '"Output":"[^"]*/op[^"]*' BENCH_telemetry.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+
+# Price the result cache end to end over HTTP: a forced cold miss vs a
+# warm hit on /v1/route (the hit must be an order of magnitude faster and
+# never enter the search kernel) and a 16-net /v1/plan batch with half
+# its nets already cached, recorded as JSON for regression tracking.
+bench-cache:
+	go test -run xxx -bench 'BenchmarkRouteColdMiss$$|BenchmarkRouteWarmHit$$|BenchmarkPlanHalfRepeated$$' -benchmem -benchtime 50x -json ./internal/server > BENCH_cache.json
+	@grep -o '"Output":"[^"]*/op[^"]*' BENCH_cache.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 
 # End-to-end observability demo: route the SoC25mm batch with the live
 # /metrics + pprof server and a JSONL trace of every search and net span.

@@ -23,7 +23,8 @@
 //	  "dst": {"x":60, "y":60},
 //	  "timeout_ms": 1000,              // optional per-request deadline
 //	  "max_configs": 0,                // optional search budget
-//	  "array_queues": false            // rbp variant, identical results
+//	  "array_queues": false,           // rbp variant, identical results
+//	  "cache": {"mode": "default"}     // optional: "default"|"bypass"|"refresh"
 //	}
 //
 // Rectangles are half-open in grid units with corners in any order, like
@@ -42,7 +43,8 @@
 //	     "wire_widths":[1,2]}           // optional width sweep
 //	  ],
 //	  "workers": 0,                    // <=0 selects the server default
-//	  "timeout_ms": 5000               // optional whole-batch deadline
+//	  "timeout_ms": 5000,              // optional whole-batch deadline
+//	  "cache": {"mode": "default"}     // optional, as on RouteRequest
 //	}
 //
 // Nets with equal endpoint periods are routed with RBP, unequal with GALS.
@@ -52,6 +54,26 @@
 // or invalid request, 422 genuinely infeasible (no path exists), 429 load
 // shed (Retry-After set), 503 shutting down, 504 per-request deadline
 // exceeded with the search aborted.
+//
+// # Result cache
+//
+// The server memoizes results by content address: every request is reduced
+// to a versioned canonical problem form (Canonicalize / CanonicalizeNet —
+// rect corners ordered, blockage lists clipped/sorted/deduplicated,
+// non-semantic fields like timeout_ms and workers stripped), encoded
+// deterministically, and hashed (ProblemHash). Identical problems hit the
+// cache and skip the search kernel entirely; a cached response is the
+// byte-for-byte response a fresh search would produce, elapsed_ns timing
+// aside.
+//
+// The optional "cache" block selects the interaction per request:
+// "default" (lookup + fill), "bypass" (neither), "refresh" (recompute and
+// overwrite). Unknown modes are rejected like any other malformed field.
+// Responses carry "problem_hash" (hex) always and "cached": true when
+// served from the cache — per net on /v1/plan. /v1/route additionally
+// speaks HTTP conditional requests: the ETag is the quoted problem hash,
+// If-None-Match with a matching tag yields 304 Not Modified, and every
+// response carries "X-Cache: hit" or "X-Cache: miss".
 package api
 
 // Point is a grid coordinate on the wire.
@@ -102,6 +124,10 @@ type RouteRequest struct {
 	MaxConfigs int `json:"max_configs,omitempty"`
 	// ArrayQueues selects the array-of-queues RBP variant.
 	ArrayQueues bool `json:"array_queues,omitempty"`
+	// Cache selects how the request interacts with the server's result
+	// cache; nil means "default". See the package doc's Result cache
+	// section.
+	Cache *CacheOptions `json:"cache,omitempty"`
 }
 
 // NetSpec is one net of a PlanRequest.
@@ -125,6 +151,9 @@ type PlanRequest struct {
 	// TimeoutMS bounds the whole batch's wall time (same clamping as
 	// RouteRequest.TimeoutMS).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Cache selects how the batch interacts with the per-net result cache;
+	// nil means "default".
+	Cache *CacheOptions `json:"cache,omitempty"`
 }
 
 // SearchStats mirrors core.Stats on the wire.
@@ -150,6 +179,13 @@ type RouteResponse struct {
 	Path          []Point     `json:"path"`
 	Gates         []string    `json:"gates"`
 	Stats         SearchStats `json:"stats"`
+	// ProblemHash is the hex content address of the canonical problem this
+	// response answers (also the /v1/route ETag, unquoted).
+	ProblemHash string `json:"problem_hash,omitempty"`
+	// Cached reports the response was served from the result cache without
+	// running a search. Stats then describe the search that originally
+	// produced the entry.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // NetResult is one net's outcome inside a PlanResponse. Error is set when
@@ -168,6 +204,11 @@ type NetResult struct {
 	Path      []Point  `json:"path,omitempty"`
 	Gates     []string `json:"gates,omitempty"`
 	ElapsedNS int64    `json:"elapsed_ns,omitempty"`
+	// ProblemHash is the hex content address of this net's canonical
+	// per-net problem (the net name is not part of it).
+	ProblemHash string `json:"problem_hash,omitempty"`
+	// Cached reports the net was served from the result cache.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // PlanStats aggregates the batch, mirroring planner.PlanStats.

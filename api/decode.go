@@ -149,6 +149,11 @@ func (r *RouteRequest) Validate() error {
 	if r.MaxConfigs < 0 {
 		return fmt.Errorf("api: negative max_configs %d", r.MaxConfigs)
 	}
+	if r.Cache != nil {
+		if err := r.Cache.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -198,6 +203,11 @@ func (r *PlanRequest) Validate() error {
 	}
 	if r.Workers < 0 {
 		return fmt.Errorf("api: negative workers %d", r.Workers)
+	}
+	if r.Cache != nil {
+		if err := r.Cache.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

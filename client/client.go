@@ -4,6 +4,11 @@
 // backoff, honoring both the server's Retry-After hint and the caller's
 // context. Routing requests are pure computations, so retrying them is
 // always safe.
+//
+// The service content-addresses results: every route response carries an
+// ETag derived from the canonical problem. RouteConditional revalidates a
+// held response with If-None-Match, and CacheInfo reports whether the
+// server answered from its result cache (X-Cache) on each exchange.
 package client
 
 import (
@@ -95,64 +100,104 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
+// CacheInfo reports the server's cache disposition for one exchange.
+// ETag is the response's entity tag — the quoted canonical problem hash —
+// usable as the etag argument of a later RouteConditional call.
+type CacheInfo struct {
+	Hit         bool   // server answered from its result cache (X-Cache: hit)
+	NotModified bool   // 304: the held response is still current; no body was resent
+	ETag        string // entity tag of the response (quoted problem hash)
+}
+
 // Route routes one net via POST /v1/route.
 func (c *Client) Route(ctx context.Context, req *api.RouteRequest) (*api.RouteResponse, error) {
 	var out api.RouteResponse
-	if err := c.post(ctx, "/v1/route", req, &out); err != nil {
+	if _, err := c.post(ctx, "/v1/route", req, &out, ""); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// RouteConditional routes one net via POST /v1/route, revalidating a held
+// response: when etag (from a previous response's CacheInfo.ETag) is
+// non-empty it is sent as If-None-Match, and a 304 returns a nil response
+// with info.NotModified set — the caller's held copy is still current.
+// Routing is deterministic in the problem, so a matching tag always
+// revalidates. info is non-nil whenever err is nil.
+func (c *Client) RouteConditional(ctx context.Context, req *api.RouteRequest, etag string) (*api.RouteResponse, *CacheInfo, error) {
+	var out api.RouteResponse
+	info, err := c.post(ctx, "/v1/route", req, &out, etag)
+	if err != nil {
+		return nil, nil, err
+	}
+	if info.NotModified {
+		return nil, info, nil
+	}
+	return &out, info, nil
 }
 
 // Plan routes a batch via POST /v1/plan.
 func (c *Client) Plan(ctx context.Context, req *api.PlanRequest) (*api.PlanResponse, error) {
 	var out api.PlanResponse
-	if err := c.post(ctx, "/v1/plan", req, &out); err != nil {
+	if _, err := c.post(ctx, "/v1/plan", req, &out, ""); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// post runs one retrying request cycle against path.
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+// post runs one retrying request cycle against path. A non-empty etag is
+// sent as If-None-Match. info is non-nil on success.
+func (c *Client) post(ctx context.Context, path string, in, out any, etag string) (*CacheInfo, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return fmt.Errorf("client: encode request: %w", err)
+		return nil, fmt.Errorf("client: encode request: %w", err)
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
 			if err := sleep(ctx, c.delay(attempt, lastErr)); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		lastErr = c.once(ctx, path, body, out)
+		var info *CacheInfo
+		info, lastErr = c.once(ctx, path, body, out, etag)
 		if lastErr == nil {
-			return nil
+			return info, nil
 		}
 		var apiErr *APIError
 		if errors.As(lastErr, &apiErr) && !apiErr.Temporary() {
-			return lastErr // permanent: 400/422/500/504 don't improve on retry
+			return nil, lastErr // permanent: 400/422/500/504 don't improve on retry
 		}
 		if ctx.Err() != nil {
-			return lastErr
+			return nil, lastErr
 		}
 	}
-	return fmt.Errorf("client: giving up after %d attempts: %w", c.maxAttempts, lastErr)
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.maxAttempts, lastErr)
 }
 
 // once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, path string, body []byte, out any, etag string) (*CacheInfo, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("client: build request: %w", err)
+		return nil, fmt.Errorf("client: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return nil, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
+	info := &CacheInfo{
+		Hit:  resp.Header.Get("X-Cache") == "hit",
+		ETag: resp.Header.Get("ETag"),
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		info.NotModified = true
+		return info, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		apiErr := &APIError{StatusCode: resp.StatusCode}
 		var e api.ErrorResponse
@@ -162,14 +207,14 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any) er
 			apiErr.Message = http.StatusText(resp.StatusCode)
 		}
 		if ra := retryAfter(resp); ra > 0 {
-			return &retryAfterError{APIError: apiErr, after: ra}
+			return nil, &retryAfterError{APIError: apiErr, after: ra}
 		}
-		return apiErr
+		return nil, apiErr
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode response: %w", err)
+		return nil, fmt.Errorf("client: decode response: %w", err)
 	}
-	return nil
+	return info, nil
 }
 
 // retryAfterError carries the server's Retry-After hint with the error.

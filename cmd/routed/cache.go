@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// runCacheCmd implements the `routed cache <stats|snapshot|load>` admin
+// subcommands, which drive a running server's /v1/cache endpoints:
+//
+//	routed cache stats    [-addr host:port]   print cache occupancy and hit counters
+//	routed cache snapshot [-addr host:port]   persist the cache to a new segment file
+//	routed cache load     [-addr host:port]   replay snapshot segments into the cache
+//
+// snapshot and load require the server to have been started with
+// -cache-dir. The exit code is 0 on success, 1 on any failure.
+func runCacheCmd(args []string) int {
+	fs := flag.NewFlagSet("routed cache", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "address of the running routed server")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: routed cache <stats|snapshot|load> [-addr host:port]")
+		fs.PrintDefaults()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		return 1
+	}
+	verb := args[0]
+	fs.Parse(args[1:])
+
+	var method, path string
+	switch verb {
+	case "stats":
+		method, path = http.MethodGet, "/v1/cache/stats"
+	case "snapshot":
+		method, path = http.MethodPost, "/v1/cache/snapshot"
+	case "load":
+		method, path = http.MethodPost, "/v1/cache/load"
+	default:
+		fmt.Fprintf(os.Stderr, "routed cache: unknown subcommand %q\n", verb)
+		fs.Usage()
+		return 1
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	hc := &http.Client{Timeout: *timeout}
+	req, err := http.NewRequest(method, strings.TrimRight(base, "/")+path, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routed cache:", err)
+		return 1
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routed cache:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+
+	var fields map[string]any
+	if err := json.Unmarshal(body, &fields); err != nil {
+		fmt.Fprintf(os.Stderr, "routed cache: %s: %s\n", resp.Status, strings.TrimSpace(string(body)))
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := fields["error"].(string)
+		if msg == "" {
+			msg = resp.Status
+		}
+		fmt.Fprintln(os.Stderr, "routed cache:", msg)
+		return 1
+	}
+	// Stable key order keeps the output diffable in scripts.
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s\t%v\n", k, fields[k])
+	}
+	return 0
+}

@@ -8,11 +8,18 @@
 //	routed -addr :8080
 //	routed -addr :8080 -max-inflight 8 -max-queue 16 -request-timeout 10s
 //	routed -addr :8080 -metrics-addr 127.0.0.1:9090 -trace routed.jsonl -v
+//	routed -addr :8080 -cache-mb 128 -cache-dir /var/lib/routed/cache
+//	routed cache stats|snapshot|load -addr 127.0.0.1:8080
 //
 // Admission control sheds load with 429 + Retry-After once the in-flight
 // and queue limits are both full. On SIGINT/SIGTERM the server drains:
 // new requests get 503, in-flight searches finish (up to -drain-timeout,
 // after which they are aborted cooperatively), then the process exits.
+//
+// Results are cached by canonical problem hash (64 MiB budget by default;
+// -cache-mb 0 turns it off). With -cache-dir set, snapshot segments in
+// that directory are replayed at boot, and `routed cache snapshot` asks a
+// running server to persist its current cache for the next start.
 //
 // Try it:
 //
@@ -42,6 +49,12 @@ import (
 )
 
 func main() {
+	// Admin subcommands run against an already-listening server:
+	// routed cache <stats|snapshot|load> [-addr host:port]
+	if len(os.Args) > 1 && os.Args[1] == "cache" {
+		os.Exit(runCacheCmd(os.Args[2:]))
+	}
+
 	var (
 		addr         = flag.String("addr", ":8080", "service listen address")
 		maxInflight  = flag.Int("max-inflight", 0, "concurrent routing requests (0 = 2x GOMAXPROCS)")
@@ -50,6 +63,8 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "ceiling on any requested deadline")
 		workers      = flag.Int("workers", 0, "max concurrent searches per /v1/plan batch (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight searches are aborted")
+		cacheMB      = flag.Int64("cache-mb", 64, "result-cache byte budget in MiB (0 = caching off)")
+		cacheDir     = flag.String("cache-dir", "", "directory for cache snapshot segments; loaded at boot, written by 'routed cache snapshot' (empty = in-memory only)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /progress, and /debug/pprof on this address (empty = off)")
 		traceFile    = flag.String("trace", "", "append JSONL span events to this file (empty = off)")
 		faultpoints  = flag.String("faultpoints", "", "arm fault-injection points, e.g. 'core.wave_push=panic@3,sink.write=delay:5ms' (also via FAULTPOINTS env)")
@@ -74,6 +89,7 @@ func main() {
 	v.NonNegativeDuration("request-timeout", *reqTimeout)
 	v.NonNegativeDuration("max-timeout", *maxTimeout)
 	v.NonNegativeDuration("drain-timeout", *drainTimeout)
+	v.NonNegativeInt("cache-mb", int(*cacheMB))
 	if err := v.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
@@ -123,9 +139,22 @@ func main() {
 		DefaultTimeout: *reqTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxWorkers:     *workers,
+		CacheMaxBytes:  *cacheMB << 20,
+		CacheDir:       *cacheDir,
 		Metrics:        telemetry.Default(),
 		Sink:           telemetry.Multi(extra...),
 	})
+	if *cacheMB > 0 && *cacheDir != "" {
+		// Warm start: replay whatever snapshot segments the directory holds.
+		// Corruption is survivable — the readable prefix still warms the
+		// cache — so it logs rather than refusing to boot.
+		n, err := svc.LoadCache()
+		if err != nil {
+			log.Warn("cache load", "entries", n, "err", err)
+		} else if n > 0 {
+			log.Info("cache warmed from snapshots", "dir", *cacheDir, "entries", n)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

@@ -1,0 +1,215 @@
+package resultcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Persistent snapshot format: append-only segment files named
+// cache-NNNNNN.seg inside the cache directory. A snapshot never rewrites
+// an existing segment — it appends the next numbered file — and a load
+// replays every segment in name order, later records overwriting earlier
+// ones, so the directory is a write-once log of the cache's history that
+// survives a crashed snapshot (partially written trailing records are
+// detected by CRC and cut off, everything before them loads).
+//
+// Each segment is:
+//
+//	magic "CRCACHE1" (8 bytes)
+//	record*:
+//	  key   [32]byte    the canonical problem hash
+//	  len   uint32 BE   payload length
+//	  crc   uint32 BE   CRC-32 (IEEE) of key || payload
+//	  data  [len]byte   opaque payload (the server stores a typed envelope)
+const segMagic = "CRCACHE1"
+
+// maxPayload bounds one record's payload; far above any real response,
+// it keeps a corrupted length field from driving a huge allocation.
+const maxPayload = 64 << 20
+
+// ErrCorruptSegment marks a segment whose magic or a record's CRC failed.
+var ErrCorruptSegment = errors.New("resultcache: corrupt snapshot segment")
+
+// WriteSegment writes one snapshot segment with every entry enc can
+// encode. enc turns a live value back into a payload; returning false
+// skips the entry (e.g. an unexpectedly typed value).
+func WriteSegment(w io.Writer, c *Cache, enc func(k Key, v any) ([]byte, bool)) (entries int, err error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(segMagic); err != nil {
+		return 0, err
+	}
+	c.ForEach(func(k Key, v any, size int64) bool {
+		payload, ok := enc(k, v)
+		if !ok {
+			return true
+		}
+		if err = writeRecord(bw, k, payload); err != nil {
+			return false
+		}
+		entries++
+		return true
+	})
+	if err != nil {
+		return entries, err
+	}
+	return entries, bw.Flush()
+}
+
+func writeRecord(w *bufio.Writer, k Key, payload []byte) error {
+	if _, err := w.Write(k[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(k[:])
+	crc.Write(payload)
+	binary.BigEndian.PutUint32(hdr[4:], crc.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadSegment replays one segment into the cache through dec, which turns
+// a payload back into a live value and its accounted size. It returns the
+// number of records loaded; a truncated or corrupt tail returns what
+// loaded before it along with ErrCorruptSegment.
+func ReadSegment(r io.Reader, c *Cache, dec func(k Key, payload []byte) (any, int64, error)) (entries int, err error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorruptSegment)
+	}
+	for {
+		var k Key
+		if _, err := io.ReadFull(br, k[:]); err != nil {
+			if err == io.EOF {
+				return entries, nil // clean end
+			}
+			return entries, fmt.Errorf("%w: truncated key", ErrCorruptSegment)
+		}
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return entries, fmt.Errorf("%w: truncated header", ErrCorruptSegment)
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		if n > maxPayload {
+			return entries, fmt.Errorf("%w: payload length %d", ErrCorruptSegment, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return entries, fmt.Errorf("%w: truncated payload", ErrCorruptSegment)
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(k[:])
+		crc.Write(payload)
+		if crc.Sum32() != binary.BigEndian.Uint32(hdr[4:]) {
+			return entries, fmt.Errorf("%w: crc mismatch", ErrCorruptSegment)
+		}
+		v, size, err := dec(k, payload)
+		if err != nil {
+			// A record the decoder rejects (e.g. an envelope from a newer
+			// build) is skipped, not fatal: the rest of the segment is fine.
+			continue
+		}
+		c.Put(k, v, size)
+		entries++
+	}
+}
+
+// SnapshotDir appends the next numbered segment file to dir, creating the
+// directory as needed, and returns its path. The file is written to a
+// temporary name and renamed into place so a crashed snapshot never leaves
+// a half-readable segment under a live name.
+func SnapshotDir(dir string, c *Cache, enc func(k Key, v any) ([]byte, bool)) (path string, entries int, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	next := 1
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		fmt.Sscanf(filepath.Base(last), "cache-%d.seg", &next)
+		next++
+	}
+	path = filepath.Join(dir, fmt.Sprintf("cache-%06d.seg", next))
+	tmp, err := os.CreateTemp(dir, ".cache-*.tmp")
+	if err != nil {
+		return "", 0, err
+	}
+	defer os.Remove(tmp.Name())
+	entries, err = WriteSegment(tmp, c, enc)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", entries, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", entries, err
+	}
+	return path, entries, nil
+}
+
+// LoadDir replays every segment in dir (name order, later segments win)
+// into the cache. A missing directory loads nothing. Corrupt segments
+// contribute their readable prefix; the first corruption error is
+// returned after all segments are processed, so a warm start is as warm
+// as the disk allows.
+func LoadDir(dir string, c *Cache, dec func(k Key, payload []byte) (any, int64, error)) (entries int, err error) {
+	segs, serr := segmentFiles(dir)
+	if serr != nil {
+		if errors.Is(serr, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, serr
+	}
+	var firstErr error
+	for _, seg := range segs {
+		f, err := os.Open(seg)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		n, err := ReadSegment(f, c, dec)
+		f.Close()
+		entries += n
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", seg, err)
+		}
+	}
+	return entries, firstErr
+}
+
+// segmentFiles lists dir's segments in replay order.
+func segmentFiles(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "cache-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		// Distinguish "empty dir" from "no dir" for LoadDir.
+		if _, err := os.Stat(dir); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(matches)
+	return matches, nil
+}

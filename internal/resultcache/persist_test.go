@@ -1,0 +1,182 @@
+package resultcache
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// string payloads stand in for the server's response envelopes.
+func encString(k Key, v any) ([]byte, bool) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, false
+	}
+	return []byte(s), true
+}
+
+func decString(k Key, payload []byte) (any, int64, error) {
+	return string(payload), int64(len(payload)), nil
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	src := New(Config{})
+	want := map[Key]string{}
+	for i := 0; i < 50; i++ {
+		k := key(byte(i), byte(i*7))
+		v := string(bytes.Repeat([]byte{byte('a' + i%26)}, i+1))
+		src.Put(k, v, int64(len(v)))
+		want[k] = v
+	}
+
+	var buf bytes.Buffer
+	n, err := WriteSegment(&buf, src, encString)
+	if err != nil || n != 50 {
+		t.Fatalf("wrote %d entries, err=%v", n, err)
+	}
+
+	dst := New(Config{})
+	n, err = ReadSegment(bytes.NewReader(buf.Bytes()), dst, decString)
+	if err != nil || n != 50 {
+		t.Fatalf("read %d entries, err=%v", n, err)
+	}
+	for k, v := range want {
+		got, ok := dst.Get(k)
+		if !ok || got.(string) != v {
+			t.Fatalf("key %x: got %v/%v, want %q", k[:4], got, ok, v)
+		}
+	}
+	if dst.Bytes() != src.Bytes() {
+		t.Fatalf("byte accounting drifted: %d vs %d", dst.Bytes(), src.Bytes())
+	}
+}
+
+func TestSegmentTruncatedTail(t *testing.T) {
+	src := New(Config{})
+	for i := 0; i < 10; i++ {
+		src.Put(key(byte(i)), "0123456789", 10)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteSegment(&buf, src, encString); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-record: everything before the cut must load.
+	cut := buf.Bytes()[:buf.Len()-7]
+	dst := New(Config{})
+	n, err := ReadSegment(bytes.NewReader(cut), dst, decString)
+	if !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("truncated segment returned %v, want ErrCorruptSegment", err)
+	}
+	if n != 9 || dst.Len() != 9 {
+		t.Fatalf("loaded %d entries from truncated segment, want 9", n)
+	}
+}
+
+func TestSegmentCRCMismatch(t *testing.T) {
+	src := New(Config{})
+	src.Put(key(1), "payload-one", 11)
+	var buf bytes.Buffer
+	if _, err := WriteSegment(&buf, src, encString); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0xff // flip a payload byte
+	dst := New(Config{})
+	if _, err := ReadSegment(bytes.NewReader(b), dst, decString); !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("bit flip returned %v, want ErrCorruptSegment", err)
+	}
+	if dst.Len() != 0 {
+		t.Fatal("corrupt record loaded")
+	}
+}
+
+func TestSegmentBadMagic(t *testing.T) {
+	dst := New(Config{})
+	if _, err := ReadSegment(bytes.NewReader([]byte("NOTACACHEFILE")), dst, decString); !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("bad magic returned %v", err)
+	}
+}
+
+func TestSnapshotDirAppendsSegments(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{})
+	c.Put(key(1), "one", 3)
+
+	p1, n, err := SnapshotDir(dir, c, encString)
+	if err != nil || n != 1 {
+		t.Fatalf("first snapshot: %v (%d entries)", err, n)
+	}
+	c.Put(key(2), "two", 3)
+	p2, n, err := SnapshotDir(dir, c, encString)
+	if err != nil || n != 2 {
+		t.Fatalf("second snapshot: %v (%d entries)", err, n)
+	}
+	if p1 == p2 {
+		t.Fatalf("snapshot overwrote segment %s", p1)
+	}
+	if filepath.Base(p1) != "cache-000001.seg" || filepath.Base(p2) != "cache-000002.seg" {
+		t.Fatalf("segment names %s, %s", p1, p2)
+	}
+
+	// Replay: later segments win; both keys present.
+	warm := New(Config{})
+	n, err = LoadDir(dir, warm, decString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // 1 from seg1 + 2 from seg2
+		t.Fatalf("replayed %d records, want 3", n)
+	}
+	if warm.Len() != 2 {
+		t.Fatalf("warm cache holds %d entries, want 2", warm.Len())
+	}
+	for k, v := range map[Key]string{key(1): "one", key(2): "two"} {
+		if got, ok := warm.Get(k); !ok || got.(string) != v {
+			t.Fatalf("warm cache: %v/%v, want %q", got, ok, v)
+		}
+	}
+}
+
+func TestLoadDirMissingIsEmpty(t *testing.T) {
+	c := New(Config{})
+	n, err := LoadDir(filepath.Join(t.TempDir(), "nope"), c, decString)
+	if err != nil || n != 0 {
+		t.Fatalf("missing dir: n=%d err=%v", n, err)
+	}
+}
+
+func TestLoadDirSalvagesCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{})
+	c.Put(key(1), "one", 3)
+	if _, _, err := SnapshotDir(dir, c, encString); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(2), "two", 3)
+	p2, _, err := SnapshotDir(dir, c, encString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the second segment mid-record; the first must still load
+	// fully and the readable prefix of the second contributes what it can.
+	b, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm := New(Config{})
+	n, err := LoadDir(dir, warm, decString)
+	if !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("err=%v, want ErrCorruptSegment", err)
+	}
+	if n < 1 {
+		t.Fatalf("salvaged %d records, want at least the intact segment", n)
+	}
+	if _, ok := warm.Get(key(1)); !ok {
+		t.Fatal("intact segment's entry missing after salvage")
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"clockroute/internal/telemetry"
+)
+
+// Cache benchmarks measure the full HTTP round trip — decode, canonical
+// hash, cache, encode — so the hit/miss gap reported in BENCH_cache.json
+// is the gap a client actually observes.
+
+func benchServer(b *testing.B) (*Server, string, *telemetry.Metrics, func()) {
+	b.Helper()
+	m := telemetry.NewMetrics()
+	s := New(Config{CacheMaxBytes: 64 << 20, Metrics: m})
+	ts := httptest.NewServer(s.Handler())
+	return s, ts.URL, m, ts.Close
+}
+
+func benchPost(b *testing.B, url, body string) *http.Response {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	return resp
+}
+
+// BenchmarkRouteColdMiss prices the miss path: refresh mode forces the
+// search kernel to run (and the fill to happen) every iteration, on the
+// problem whose warm hit BenchmarkRouteWarmHit measures.
+func BenchmarkRouteColdMiss(b *testing.B) {
+	_, url, _, done := benchServer(b)
+	defer done()
+	body := strings.TrimSuffix(routeBody(32, 32, 0.25, 500, 1, 1, 30, 30, 0), "}") +
+		`,"cache":{"mode":"refresh"}}`
+	benchPost(b, url+"/v1/route", body) // warm the HTTP client connection
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, url+"/v1/route", body)
+	}
+}
+
+// BenchmarkRouteWarmHit prices the hit path: one priming miss, then every
+// iteration is served from the cache without entering the search kernel
+// (asserted via the search counter).
+func BenchmarkRouteWarmHit(b *testing.B) {
+	_, url, m, done := benchServer(b)
+	defer done()
+	body := routeBody(32, 32, 0.25, 500, 1, 1, 30, 30, 0)
+	benchPost(b, url+"/v1/route", body) // prime
+	searches := m.Searches.Value()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := benchPost(b, url+"/v1/route", body)
+		if resp.Header.Get("X-Cache") != "hit" {
+			b.Fatal("warm request missed")
+		}
+	}
+	b.StopTimer()
+	if got := m.Searches.Value(); got != searches {
+		b.Fatalf("hit path entered the search kernel: %d -> %d searches", searches, got)
+	}
+}
+
+// BenchmarkPlanHalfRepeated prices a 16-net batch where half the nets are
+// already cached (a sweep re-posing known subproblems): 8 fixed nets are
+// primed once, 8 vary per iteration so they always miss.
+func BenchmarkPlanHalfRepeated(b *testing.B) {
+	_, url, _, done := benchServer(b)
+	defer done()
+	fixed := make([]string, 8)
+	for j := range fixed {
+		fixed[j] = netJSON(fmt.Sprintf("w%d", j), 1, j+1, 20, 20-j, 500)
+	}
+	benchPost(b, url+"/v1/plan", planBody(fixed, "")) // prime the warm half
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nets := make([]string, 0, 16)
+		nets = append(nets, fixed...)
+		for j := 0; j < 8; j++ {
+			// A per-iteration period keeps the cold half genuinely cold.
+			nets = append(nets, netJSON(fmt.Sprintf("c%d", j), 2, j+2, 19, 19-j, 500+float64(i+1)/1000))
+		}
+		benchPost(b, url+"/v1/plan", planBody(nets, ""))
+	}
+}

@@ -163,38 +163,51 @@ func routeResponse(res *core.Result, g *grid.Grid) *api.RouteResponse {
 	return out
 }
 
+// netResultOnWire renders one routed net. The cache stores values of this
+// exact shape, so a cached hit and a fresh route are rendered by the same
+// code and cannot drift apart.
+func netResultOnWire(n *planner.NetResult, g *grid.Grid) api.NetResult {
+	nr := api.NetResult{Name: n.Spec.Name, Mode: string(n.Mode), ElapsedNS: n.Elapsed.Nanoseconds()}
+	if n.Err != nil {
+		nr.Error = n.Err.Error()
+	} else {
+		nr.LatencyPS = n.LatencyPS
+		nr.SrcCycles = n.SrcCycles
+		nr.DstCycles = n.DstCycles
+		nr.Registers = n.Registers
+		nr.Buffers = n.Buffers
+		nr.WireMM = n.WireMM
+		nr.WireWidth = n.WireWidth
+		nr.Path, nr.Gates = pathOnWire(n.Path, g)
+	}
+	return nr
+}
+
+// planStatsOnWire renders a batch's aggregate stats. They reflect work
+// actually performed this request; cached nets contribute nothing here
+// beyond the NetsRouted adjustment the handler applies.
+func planStatsOnWire(plan *planner.Plan) api.PlanStats {
+	return api.PlanStats{
+		Workers:      plan.Stats.Workers,
+		NetsRouted:   plan.Stats.NetsRouted,
+		NetsFailed:   plan.Stats.NetsFailed,
+		TotalConfigs: plan.Stats.TotalConfigs,
+		TotalPushed:  plan.Stats.TotalPushed,
+		TotalPruned:  plan.Stats.TotalPruned,
+		TotalWaves:   plan.Stats.TotalWaves,
+		MaxQSize:     plan.Stats.MaxQSize,
+		ElapsedNS:    plan.Stats.Elapsed.Nanoseconds(),
+	}
+}
+
 // planResponse renders a routed batch, keeping request order.
 func planResponse(plan *planner.Plan) *api.PlanResponse {
 	out := &api.PlanResponse{
-		Nets: make([]api.NetResult, len(plan.Nets)),
-		Stats: api.PlanStats{
-			Workers:      plan.Stats.Workers,
-			NetsRouted:   plan.Stats.NetsRouted,
-			NetsFailed:   plan.Stats.NetsFailed,
-			TotalConfigs: plan.Stats.TotalConfigs,
-			TotalPushed:  plan.Stats.TotalPushed,
-			TotalPruned:  plan.Stats.TotalPruned,
-			TotalWaves:   plan.Stats.TotalWaves,
-			MaxQSize:     plan.Stats.MaxQSize,
-			ElapsedNS:    plan.Stats.Elapsed.Nanoseconds(),
-		},
+		Nets:  make([]api.NetResult, len(plan.Nets)),
+		Stats: planStatsOnWire(plan),
 	}
 	for i := range plan.Nets {
-		n := &plan.Nets[i]
-		nr := api.NetResult{Name: n.Spec.Name, Mode: string(n.Mode), ElapsedNS: n.Elapsed.Nanoseconds()}
-		if n.Err != nil {
-			nr.Error = n.Err.Error()
-		} else {
-			nr.LatencyPS = n.LatencyPS
-			nr.SrcCycles = n.SrcCycles
-			nr.DstCycles = n.DstCycles
-			nr.Registers = n.Registers
-			nr.Buffers = n.Buffers
-			nr.WireMM = n.WireMM
-			nr.WireWidth = n.WireWidth
-			nr.Path, nr.Gates = pathOnWire(n.Path, plan.Grid)
-		}
-		out.Nets[i] = nr
+		out.Nets[i] = netResultOnWire(&plan.Nets[i], plan.Grid)
 	}
 	return out
 }

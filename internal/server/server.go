@@ -28,6 +28,8 @@ import (
 	"clockroute/api"
 	"clockroute/internal/core"
 	"clockroute/internal/faultpoint"
+	"clockroute/internal/planner"
+	"clockroute/internal/resultcache"
 	"clockroute/internal/tech"
 	"clockroute/internal/telemetry"
 )
@@ -53,6 +55,16 @@ type Config struct {
 	// keeps serving, but an orchestrator watching health can rotate the
 	// instance out (default 3; negative disables the degraded state).
 	PanicDegradeThreshold int
+	// CacheMaxBytes, when positive, enables the content-addressed result
+	// cache with this byte budget: requests are reduced to their canonical
+	// problem hash and identical problems are served from memory without a
+	// search (see internal/resultcache and the api package's Result cache
+	// doc). Zero disables the cache — cmd/routed enables 64 MiB by default.
+	CacheMaxBytes int64
+	// CacheDir, when set alongside an enabled cache, is the directory of
+	// persistent snapshot segments: LoadCache warms the cache from it at
+	// boot and SnapshotCache (POST /v1/cache/snapshot) appends to it.
+	CacheDir string
 	// Tech is the technology routing runs against (default CongPan70nm).
 	Tech *tech.Tech
 	// Metrics receives the service counters and, as a telemetry sink, the
@@ -97,6 +109,9 @@ type Server struct {
 	cfg  Config
 	sink telemetry.Sink // metrics + extra sink, fanned out once
 
+	// cache memoizes results by canonical problem hash; nil when disabled.
+	cache *resultcache.Cache
+
 	sem    chan struct{} // in-flight slots
 	queued chan struct{} // wait-queue slots
 
@@ -134,10 +149,19 @@ func New(cfg Config) *Server {
 		base:       base,
 		cancelBase: cancel,
 	}
+	if cfg.CacheMaxBytes > 0 {
+		s.cache = resultcache.New(resultcache.Config{
+			MaxBytes: cfg.CacheMaxBytes,
+			Metrics:  cfg.Metrics,
+		})
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/route", s.handleRoute)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("POST /v1/cache/snapshot", s.handleCacheSnapshot)
+	s.mux.HandleFunc("POST /v1/cache/load", s.handleCacheLoad)
 	return s
 }
 
@@ -321,12 +345,48 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	canon, err := api.Canonicalize(req)
+	if err != nil {
+		// Unreachable after a successful decode, but the cache must never
+		// key on a problem it could not canonicalize.
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	hash := canon.Hash()
+	reqMode := req.Cache.EffectiveMode() // what the client asked for
+	mode := s.cacheMode(req.Cache)       // bypass when the cache is off
+
 	leave, ok := s.enter()
 	if !ok {
 		s.fail(w, http.StatusServiceUnavailable, errors.New("server: shutting down"))
 		return
 	}
 	defer leave()
+
+	// Conditional request: the ETag is the problem's content address and
+	// routing is deterministic, so a matching If-None-Match means the
+	// client already holds exactly the response this search would produce
+	// — even when the cache itself is cold or disabled. Explicit bypass or
+	// refresh opts out.
+	if reqMode == api.CacheModeDefault && r.Header.Get("If-None-Match") == hash.ETag() {
+		m.CacheHits.Inc()
+		w.Header().Set("ETag", hash.ETag())
+		w.Header().Set("X-Cache", "hit")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	// Warm hit: serve from memory without admission control or a search —
+	// hits must stay cheap even when the search slots are saturated.
+	if mode == api.CacheModeDefault {
+		if resp, ok := s.cachedRouteResponse(hash); ok {
+			w.Header().Set("ETag", hash.ETag())
+			w.Header().Set("X-Cache", "hit")
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
 	release, err := s.admit(r.Context())
 	if err != nil {
 		s.refuse(w, err)
@@ -346,12 +406,55 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	coreReq.Options.MaxConfigs = req.MaxConfigs
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	res, err := core.Route(ctx, prob, coreReq)
+
+	compute := func() (any, int64, error) {
+		res, err := core.Route(ctx, prob, coreReq)
+		if err != nil {
+			return nil, 0, err
+		}
+		resp := routeResponse(res, prob.Grid)
+		resp.ProblemHash = hash.Hex()
+		size, err := approxEntrySize(resp)
+		if err != nil {
+			return nil, 0, err
+		}
+		return resp, size, nil
+	}
+
+	var v any
+	var joined bool
+	switch mode {
+	case api.CacheModeBypass:
+		v, _, err = compute()
+	case api.CacheModeRefresh:
+		v, joined, err = s.cache.Do(cacheKey(hash, cacheDomainRoute), true, compute)
+	default:
+		// Singleflight: concurrent identical misses run one search; the
+		// joiners share its result and count as hits.
+		v, joined, err = s.cache.Do(cacheKey(hash, cacheDomainRoute), false, compute)
+	}
 	if err != nil {
+		// Failed searches (infeasible, aborted, contained panic) never
+		// populate the cache — Do only fills on success.
 		s.failSearch(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, routeResponse(res, prob.Grid))
+	resp := v.(*api.RouteResponse)
+	if joined {
+		cp := *resp
+		cp.Cached = true
+		resp = &cp
+	}
+	w.Header().Set("ETag", hash.ETag())
+	w.Header().Set("X-Cache", xcache(joined))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func xcache(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -369,46 +472,104 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	// Per-net content addresses: each net of the batch is its own cache
+	// entry, so a plan that re-poses known problems (a sweep, a retry, a
+	// shared template grid) routes only the novel ones.
+	hashes := make([]api.ProblemHash, len(req.Nets))
+	for i := range req.Nets {
+		p, err := api.CanonicalizeNet(&req.Grid, &req.Nets[i])
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		hashes[i] = p.Hash()
+	}
+	mode := s.cacheMode(req.Cache)
+
 	leave, ok := s.enter()
 	if !ok {
 		s.fail(w, http.StatusServiceUnavailable, errors.New("server: shutting down"))
 		return
 	}
 	defer leave()
-	release, err := s.admit(r.Context())
-	if err != nil {
-		s.refuse(w, err)
-		return
+
+	results := make([]api.NetResult, len(req.Nets))
+	have := make([]bool, len(req.Nets))
+	if mode == api.CacheModeDefault {
+		for i := range req.Nets {
+			if nr, ok := s.cachedNetResult(hashes[i], req.Nets[i].Name); ok {
+				results[i], have[i] = nr, true
+			}
+		}
 	}
-	defer release()
-	if s.testHookAdmitted != nil {
-		s.testHookAdmitted()
+	var missIdx []int
+	for i := range req.Nets {
+		if !have[i] {
+			missIdx = append(missIdx, i)
+		}
 	}
 
-	pl, specs, err := buildPlan(req, s.cfg.Tech, s.sink)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+	stats := api.PlanStats{NetsRouted: len(req.Nets) - len(missIdx)}
+	if len(missIdx) > 0 {
+		// Only the misses pay for admission and search slots.
+		release, err := s.admit(r.Context())
+		if err != nil {
+			s.refuse(w, err)
+			return
+		}
+		defer release()
+		if s.testHookAdmitted != nil {
+			s.testHookAdmitted()
+		}
+
+		pl, specs, err := buildPlan(req, s.cfg.Tech, s.sink)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		missSpecs := make([]planner.NetSpec, len(missIdx))
+		for j, i := range missIdx {
+			missSpecs[j] = specs[i]
+		}
+		workers := req.Workers
+		if workers <= 0 || workers > s.cfg.MaxWorkers {
+			workers = s.cfg.MaxWorkers
+		}
+		ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+		defer cancel()
+		plan, err := pl.RunParallel(ctx, workers, missSpecs)
+		if err != nil {
+			// Spec-level validation failures; routing errors live per net.
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		// A batch whose every net was aborted is a deadline failure, not a
+		// result — unless cached nets already carry part of the answer.
+		if len(missIdx) == len(req.Nets) {
+			if aborted := plan.AllAborted(); aborted != nil {
+				s.failSearch(w, aborted)
+				return
+			}
+		}
+		for j, i := range missIdx {
+			n := &plan.Nets[j]
+			nr := netResultOnWire(n, plan.Grid)
+			nr.ProblemHash = hashes[i].Hex()
+			results[i] = nr
+			// Fill rule: only a clean, first-attempt success may populate
+			// the cache. A net that panicked (even if its retry healed) or
+			// failed stores nothing — nothing downstream of a quarantined
+			// search is ever served to a later request.
+			if mode != api.CacheModeBypass && n.Err == nil && !n.Panicked && !n.Retried {
+				s.fillNetResult(hashes[i], nr)
+			}
+		}
+		stats = planStatsOnWire(plan)
+		stats.NetsRouted += len(req.Nets) - len(missIdx)
 	}
-	workers := req.Workers
-	if workers <= 0 || workers > s.cfg.MaxWorkers {
-		workers = s.cfg.MaxWorkers
-	}
-	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
-	defer cancel()
-	plan, err := pl.RunParallel(ctx, workers, specs)
-	if err != nil {
-		// Spec-level validation failures; routing errors live per net.
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	// A batch whose every net was aborted is a deadline failure, not a
-	// result — report it like a single aborted search.
-	if aborted := plan.AllAborted(); aborted != nil {
-		s.failSearch(w, aborted)
-		return
-	}
-	writeJSON(w, http.StatusOK, planResponse(plan))
+
+	w.Header().Set("X-Cache", xcache(len(missIdx) == 0))
+	writeJSON(w, http.StatusOK, &api.PlanResponse{Nets: results, Stats: stats})
 }
 
 // observeLatency records one request's wall time on the latency histogram.

@@ -170,6 +170,14 @@ type Metrics struct {
 	// quarantine rule). Only the Default registry receives these — the
 	// scratch pool is process-global, so per-run registries do not.
 	ScratchQuarantines Counter
+	// Result-cache counters, maintained by internal/resultcache: lookups
+	// served from the content-addressed cache (hits skip the search kernel
+	// entirely), fills after a fresh search (misses), entries evicted by
+	// the byte budget, and the live byte footprint.
+	CacheHits      Counter
+	CacheMisses    Counter
+	CacheEvictions Counter
+	CacheBytes     Gauge
 	// RequestLatencyMS buckets each request's wall time in milliseconds.
 	RequestLatencyMS *Histogram
 
@@ -250,6 +258,11 @@ func (m *Metrics) Snapshot() map[string]any {
 		"request_panics": m.RequestPanics.Value(),
 
 		"scratch_quarantines": m.ScratchQuarantines.Value(),
+
+		"cache_hits":      m.CacheHits.Value(),
+		"cache_misses":    m.CacheMisses.Value(),
+		"cache_evictions": m.CacheEvictions.Value(),
+		"cache_bytes":     m.CacheBytes.Value(),
 	}
 	if m.NetLatencyMS != nil {
 		out["net_latency_ms"] = m.NetLatencyMS.snapshot()
