@@ -11,6 +11,9 @@
 package resultcache
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -123,8 +126,12 @@ func (c *Cache) Get(k Key) (any, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.items[k]
+	var v any
 	if ok {
 		s.moveToFront(e)
+		// Copy the value out under the lock: Put's replace branch mutates
+		// e.val in place, so reading it after unlock would race.
+		v = e.val
 	}
 	s.mu.Unlock()
 	if ok {
@@ -132,7 +139,7 @@ func (c *Cache) Get(k Key) (any, bool) {
 		if c.metrics != nil {
 			c.metrics.CacheHits.Inc()
 		}
-		return e.val, true
+		return v, true
 	}
 	c.misses.Add(1)
 	if c.metrics != nil {
@@ -149,8 +156,10 @@ func (c *Cache) Peek(k Key) (any, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.items[k]
+	var v any
 	if ok {
 		s.moveToFront(e)
+		v = e.val // copied under the lock; see Get
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -160,7 +169,7 @@ func (c *Cache) Peek(k Key) (any, bool) {
 	if c.metrics != nil {
 		c.metrics.CacheHits.Inc()
 	}
-	return e.val, true
+	return v, true
 }
 
 // Contains reports whether k is cached without touching recency or the
@@ -221,39 +230,41 @@ func (c *Cache) evictLocked(s *shard, e *entry) {
 }
 
 // Do returns the value for k, computing it at most once across concurrent
-// callers: the first caller runs compute while later ones block on the
-// same flight and share its outcome. hit reports whether this caller got
-// the value without running compute (a cache hit or a joined flight). A
-// successful compute fills the cache; an error fills nothing and is
-// returned to every caller of that flight.
+// callers. The compute runs on its own goroutine, detached from any one
+// caller: the first caller starts the flight and every caller — starter
+// included — waits on it bounded by its own ctx, so one caller giving up
+// (client gone, short deadline) neither aborts the shared compute nor
+// blocks the other waiters past their deadlines. ctx bounds only this
+// caller's wait, never the compute itself — cancel the compute through
+// whatever context the compute closure captures.
+//
+// hit reports whether this caller got the value without starting the
+// compute (a cache hit or a joined flight). A successful compute fills
+// the cache; a failed one fills nothing and delivers its error to every
+// waiter. A panicking compute is contained in the flight goroutine and
+// surfaces to every waiter as a *PanicError.
 //
 // With refresh set, the lookup is skipped — compute always runs (still
 // singleflighted) and overwrites the entry on success.
-func (c *Cache) Do(k Key, refresh bool, compute func() (any, int64, error)) (v any, hit bool, err error) {
+func (c *Cache) Do(ctx context.Context, k Key, refresh bool, compute func() (any, int64, error)) (v any, hit bool, err error) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	if !refresh {
 		if e, ok := s.items[k]; ok {
 			s.moveToFront(e)
+			v = e.val // copied under the lock; see Get
 			s.mu.Unlock()
 			c.hits.Add(1)
 			if c.metrics != nil {
 				c.metrics.CacheHits.Inc()
 			}
-			return e.val, true, nil
+			return v, true, nil
 		}
 	}
 	if f, ok := s.flights[k]; ok {
 		s.mu.Unlock()
-		<-f.done
-		if f.err != nil {
-			return nil, false, f.err
-		}
-		c.hits.Add(1)
-		if c.metrics != nil {
-			c.metrics.CacheHits.Inc()
-		}
-		return f.val, true, nil
+		v, err = c.waitFlight(ctx, f, true)
+		return v, err == nil, err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flights[k] = f
@@ -263,37 +274,74 @@ func (c *Cache) Do(k Key, refresh bool, compute func() (any, int64, error)) (v a
 	if c.metrics != nil {
 		c.metrics.CacheMisses.Inc()
 	}
-	var size int64
-	func() {
-		// A panicking compute must not strand joiners on a flight that
-		// never closes; surface the panic to this caller after cleanup.
-		defer func() {
-			s.mu.Lock()
-			delete(s.flights, k)
-			s.mu.Unlock()
-			if f.err == nil && f.val == nil {
-				f.err = errComputePanic
-			}
-			close(f.done)
-		}()
-		f.val, size, f.err = compute()
-	}()
-	if f.err != nil {
-		return nil, false, f.err
-	}
-	c.Put(k, f.val, size)
-	return f.val, false, nil
+	go c.runFlight(s, k, f, compute)
+	v, err = c.waitFlight(ctx, f, false)
+	return v, false, err
 }
 
-// errComputePanic marks a flight whose compute panicked out from under its
-// joiners. The panicking caller re-panics past Do (the defer runs during
-// unwinding), so only joiners observe this error.
-var errComputePanic = errPanic{}
+// runFlight executes one compute, publishes the outcome on f, fills the
+// cache on success, and retires the flight. Completion is tracked
+// explicitly so a compute legitimately returning a nil value is not
+// mistaken for a panic; an actual panic is contained here (it must not
+// unwind into the runtime off this goroutine) and published as *PanicError.
+func (c *Cache) runFlight(s *shard, k Key, f *flight, compute func() (any, int64, error)) {
+	var (
+		val       any
+		size      int64
+		cerr      error
+		completed bool
+	)
+	defer func() {
+		switch {
+		case !completed:
+			f.err = &PanicError{Value: recover(), Stack: debug.Stack()}
+		case cerr != nil:
+			f.err = cerr
+		default:
+			f.val = val
+			c.Put(k, val, size)
+		}
+		s.mu.Lock()
+		delete(s.flights, k)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+	val, size, cerr = compute()
+	completed = true
+}
 
-type errPanic struct{}
+// waitFlight blocks until f settles or ctx expires, whichever is first.
+// countHit records a shared success as a cache hit (joiners only — the
+// starter already counted its miss).
+func (c *Cache) waitFlight(ctx context.Context, f *flight, countHit bool) (any, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	if countHit {
+		c.hits.Add(1)
+		if c.metrics != nil {
+			c.metrics.CacheHits.Inc()
+		}
+	}
+	return f.val, nil
+}
 
-func (errPanic) Error() string {
-	return "resultcache: result computation panicked; retry"
+// PanicError is delivered to every waiter of a flight whose compute
+// panicked: the panic cannot unwind into any caller (the compute runs on
+// the flight's own goroutine), so it is contained and carried as a value
+// with the stack captured at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resultcache: result computation panicked: %v", e.Value)
 }
 
 // Len reports the number of live entries.

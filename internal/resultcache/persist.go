@@ -138,11 +138,15 @@ func SnapshotDir(dir string, c *Cache, enc func(k Key, v any) ([]byte, bool)) (p
 	if err != nil {
 		return "", 0, err
 	}
+	// Derive the next number from the maximum successfully parsed segment,
+	// skipping stray names the glob also matched (e.g. cache-abc.seg) —
+	// an unparsable name must never reset the counter and silently
+	// overwrite an existing segment.
 	next := 1
-	if len(segs) > 0 {
-		last := segs[len(segs)-1]
-		fmt.Sscanf(filepath.Base(last), "cache-%d.seg", &next)
-		next++
+	for _, seg := range segs {
+		if n, ok := segmentNumber(seg); ok && n >= next {
+			next = n + 1
+		}
 	}
 	path = filepath.Join(dir, fmt.Sprintf("cache-%06d.seg", next))
 	tmp, err := os.CreateTemp(dir, ".cache-*.tmp")
@@ -198,7 +202,21 @@ func LoadDir(dir string, c *Cache, dec func(k Key, payload []byte) (any, int64, 
 	return entries, firstErr
 }
 
-// segmentFiles lists dir's segments in replay order.
+// segmentNumber parses a segment path's sequence number, reporting false
+// for names the cache-*.seg glob matched but that are not numbered
+// segments.
+func segmentNumber(path string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(filepath.Base(path), "cache-%d.seg", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// segmentFiles lists dir's segments in replay order: numbered segments
+// ascend numerically (correct even past the zero-padded %06d range, where
+// lexical order would break), stray unnumbered matches replay first so a
+// real segment always wins.
 func segmentFiles(dir string) ([]string, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "cache-*.seg"))
 	if err != nil {
@@ -210,6 +228,17 @@ func segmentFiles(dir string) ([]string, error) {
 			return nil, err
 		}
 	}
-	sort.Strings(matches)
+	sort.Slice(matches, func(i, j int) bool {
+		ni, oki := segmentNumber(matches[i])
+		nj, okj := segmentNumber(matches[j])
+		switch {
+		case oki && okj:
+			return ni < nj
+		case oki != okj:
+			return okj // unnumbered strays sort first
+		default:
+			return matches[i] < matches[j]
+		}
+	})
 	return matches, nil
 }

@@ -139,6 +139,46 @@ func TestSnapshotDirAppendsSegments(t *testing.T) {
 	}
 }
 
+// TestSnapshotDirIgnoresStrayNames: a file the glob matches but that is
+// not a numbered segment (cache-abc.seg) must not reset the sequence —
+// the next snapshot derives its number from the maximum parsed segment
+// and never overwrites an existing one.
+func TestSnapshotDirIgnoresStrayNames(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{})
+	c.Put(key(1), "one", 3)
+	if _, _, err := SnapshotDir(dir, c, encString); err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := SnapshotDir(dir, c, encString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stray sorts last lexically ("cache-a…" > "cache-0…"), which is
+	// exactly how the old code picked the file it parsed the counter from.
+	if err := os.WriteFile(filepath.Join(dir, "cache-abc.seg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p3, _, err := SnapshotDir(dir, c, encString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p3) != "cache-000003.seg" {
+		t.Fatalf("snapshot after stray file wrote %s, want cache-000003.seg", p3)
+	}
+	after, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("existing segment %s was overwritten", p2)
+	}
+}
+
 func TestLoadDirMissingIsEmpty(t *testing.T) {
 	c := New(Config{})
 	n, err := LoadDir(filepath.Join(t.TempDir(), "nope"), c, decString)

@@ -226,19 +226,29 @@ func TestRouteConditional304(t *testing.T) {
 				t.Fatal("no ETag on route response")
 			}
 
-			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/route", strings.NewReader(body))
-			req.Header.Set("Content-Type", "application/json")
-			req.Header.Set("If-None-Match", etag)
-			cond, err := http.DefaultClient.Do(req)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer cond.Body.Close()
-			if cond.StatusCode != http.StatusNotModified {
-				t.Fatalf("revalidation: %d, want 304", cond.StatusCode)
-			}
-			if cond.Header.Get("X-Cache") != "hit" || cond.Header.Get("ETag") != etag {
-				t.Fatalf("304 headers: X-Cache=%q ETag=%q", cond.Header.Get("X-Cache"), cond.Header.Get("ETag"))
+			// RFC 9110 forms that must all revalidate: the exact tag, the
+			// tag inside a comma-separated list, a weak-prefixed tag, and
+			// the wildcard.
+			for _, inm := range []string{
+				etag,
+				`"deadbeef", ` + etag + `, "cafebabe"`,
+				"W/" + etag,
+				"*",
+			} {
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/route", strings.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("If-None-Match", inm)
+				cond, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cond.Body.Close()
+				if cond.StatusCode != http.StatusNotModified {
+					t.Fatalf("revalidation with %q: %d, want 304", inm, cond.StatusCode)
+				}
+				if cond.Header.Get("X-Cache") != "hit" || cond.Header.Get("ETag") != etag {
+					t.Fatalf("304 headers with %q: X-Cache=%q ETag=%q", inm, cond.Header.Get("X-Cache"), cond.Header.Get("ETag"))
+				}
 			}
 
 			// A stale tag must re-route in full.

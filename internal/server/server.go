@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -307,6 +308,17 @@ func (s *Server) requestContext(parent context.Context, timeoutMS int) (context.
 	return ctx, func() { stop(); cancel() }
 }
 
+// flightContext bounds a shared cache-fill search. The flight serves
+// every concurrent request for the same problem and fills the cache for
+// later ones, so it is deliberately detached from any one client's
+// connection or requested timeout: only the server-wide ceiling and a
+// drain deadline can abort it.
+func (s *Server) flightContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
+	stop := context.AfterFunc(s.base, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// Always HTTP 200 with the state in the body: "degraded" (panic
 	// threshold crossed — still serving, but the instance should be
@@ -368,7 +380,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	// client already holds exactly the response this search would produce
 	// — even when the cache itself is cold or disabled. Explicit bypass or
 	// refresh opts out.
-	if reqMode == api.CacheModeDefault && r.Header.Get("If-None-Match") == hash.ETag() {
+	if reqMode == api.CacheModeDefault && ifNoneMatchHits(r.Header.Get("If-None-Match"), hash.ETag()) {
 		m.CacheHits.Inc()
 		w.Header().Set("ETag", hash.ETag())
 		w.Header().Set("X-Cache", "hit")
@@ -407,7 +419,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
 
-	compute := func() (any, int64, error) {
+	run := func(ctx context.Context) (any, int64, error) {
 		res, err := core.Route(ctx, prob, coreReq)
 		if err != nil {
 			return nil, 0, err
@@ -423,20 +435,27 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 
 	var v any
 	var joined bool
-	switch mode {
-	case api.CacheModeBypass:
-		v, _, err = compute()
-	case api.CacheModeRefresh:
-		v, joined, err = s.cache.Do(cacheKey(hash, cacheDomainRoute), true, compute)
-	default:
+	if mode == api.CacheModeBypass {
+		v, _, err = run(ctx)
+	} else {
 		// Singleflight: concurrent identical misses run one search; the
-		// joiners share its result and count as hits.
-		v, joined, err = s.cache.Do(cacheKey(hash, cacheDomainRoute), false, compute)
+		// joiners share its result and count as hits. The flight outlives
+		// any single client — it runs under a detached context (server
+		// ceiling + drain only), so a winner that disconnects or carried a
+		// short timeout cannot abort the shared search out from under
+		// joiners with healthy connections. Each request's own wait is
+		// still bounded by its own ctx.
+		compute := func() (any, int64, error) {
+			fctx, fcancel := s.flightContext()
+			defer fcancel()
+			return run(fctx)
+		}
+		v, joined, err = s.cache.Do(ctx, cacheKey(hash, cacheDomainRoute), mode == api.CacheModeRefresh, compute)
 	}
 	if err != nil {
 		// Failed searches (infeasible, aborted, contained panic) never
 		// populate the cache — Do only fills on success.
-		s.failSearch(w, err)
+		s.failSearch(w, searchErr(err))
 		return
 	}
 	resp := v.(*api.RouteResponse)
@@ -455,6 +474,44 @@ func xcache(hit bool) string {
 		return "hit"
 	}
 	return "miss"
+}
+
+// ifNoneMatchHits matches an If-None-Match header value against the
+// problem-hash ETag per RFC 9110: a comma-separated list of entity tags,
+// each optionally weak-prefixed (W/ — weak comparison suffices for a 304),
+// or the wildcard *. An absent header never matches.
+func ifNoneMatchHits(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, tag := range strings.Split(header, ",") {
+		tag = strings.TrimSpace(tag)
+		if tag == "*" {
+			return true
+		}
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// searchErr adapts errors crossing the resultcache boundary back into the
+// taxonomy failSearch classifies: a waiter that hit its own deadline (or
+// whose client left) while the shared flight ran on is an abort, and a
+// compute panic contained by the flight goroutine is the same class of
+// fault as one recovered by the middleware.
+func searchErr(err error) error {
+	var pe *resultcache.PanicError
+	if errors.As(err, &pe) {
+		return core.NewInternalError(pe.Value, pe.Stack)
+	}
+	if !errors.Is(err, core.ErrAborted) &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		return fmt.Errorf("%w: %w", core.ErrAborted, err)
+	}
+	return err
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
