@@ -2,15 +2,23 @@
 # suite under the race detector (the parallel planner engine and the
 # telemetry sinks make -race load-bearing, not optional), and survive a
 # short fuzzing pass over every decoder that accepts untrusted bytes.
-.PHONY: tier1 build vet test race fuzz-smoke chaos bench bench-core bench-telemetry bench-cache obs-demo tables
+.PHONY: tier1 build vet lint test race fuzz-smoke chaos bench bench-core bench-telemetry bench-cache obs-demo tables
 
-tier1: build vet race chaos fuzz-smoke
+tier1: build lint race chaos fuzz-smoke
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Static gate: vet plus a hard gofmt check — any file gofmt would rewrite
+# fails the build with the offending paths listed.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l flagged:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	go test ./...

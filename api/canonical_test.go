@@ -15,8 +15,8 @@ func validCanonRoute() *RouteRequest {
 			Obstacles: []Rect{
 				{X0: 20, Y0: 20, X1: 10, Y1: 10}, // reversed corners
 				{X0: 2, Y0: 2, X1: 4, Y1: 4},
-				{X0: 2, Y0: 2, X1: 4, Y1: 4},   // duplicate
-				{X0: 5, Y0: 5, X1: 5, Y1: 9},   // empty (x0==x1)
+				{X0: 2, Y0: 2, X1: 4, Y1: 4},     // duplicate
+				{X0: 5, Y0: 5, X1: 5, Y1: 9},     // empty (x0==x1)
 				{X0: 30, Y0: 30, X1: 99, Y1: 99}, // clipped to grid
 			},
 			RegisterBlockages: []Rect{{X0: 8, Y0: 0, X1: 12, Y1: 3}},
@@ -45,7 +45,7 @@ func TestCanonicalizeNormalizesGrid(t *testing.T) {
 	// are all non-semantic: the hash must not move.
 	reordered := validCanonRoute()
 	reordered.Grid.Obstacles = []Rect{
-		{X0: 4, Y0: 4, X1: 2, Y1: 2}, // dedup target, corners flipped
+		{X0: 4, Y0: 4, X1: 2, Y1: 2},     // dedup target, corners flipped
 		{X0: 30, Y0: 30, X1: 32, Y1: 32}, // pre-clipped form of the spill rect
 		{X0: 10, Y0: 20, X1: 20, Y1: 10}, // mixed corner order
 	}

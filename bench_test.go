@@ -342,6 +342,24 @@ func BenchmarkRBP(b *testing.B) {
 	b.Run("telemetry=metrics", func(b *testing.B) {
 		run(b, core.Options{Telemetry: telemetry.NewMetrics()})
 	})
+	// The full request-tracing path: every search and wave event lands in a
+	// per-request span Recorder, as the service's traced middleware wires it.
+	b.Run("telemetry=trace", func(b *testing.B) {
+		b.ReportAllocs()
+		var configs int
+		for n := 0; n < b.N; n++ {
+			rec := telemetry.NewRecorder(telemetry.NewTraceContext(), "bench", "bench")
+			res, err := core.Route(ctx, prob, core.Request{
+				Kind: core.KindRBP, PeriodPS: 300, Options: core.Options{Telemetry: rec},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.Finish(200, nil)
+			configs = res.Stats.Configs
+		}
+		b.ReportMetric(float64(configs), "configs/op")
+	})
 }
 
 // BenchmarkFastPath is the unclocked single-search counterpart of

@@ -9,6 +9,14 @@
 // ETag derived from the canonical problem. RouteConditional revalidates a
 // held response with If-None-Match, and CacheInfo reports whether the
 // server answered from its result cache (X-Cache) on each exchange.
+//
+// Every call participates in distributed tracing: the client propagates a
+// W3C traceparent header (adopting a trace already riding ctx — see
+// WithTraceContext — or minting one per call) plus an X-Request-Id, both
+// held constant across retry attempts so the server's logs show one
+// request retrying rather than three unrelated ones. CacheInfo.RequestID
+// echoes the id the server answered under, the handle for /debug/slow and
+// trace-stream lookups.
 package client
 
 import (
@@ -26,7 +34,27 @@ import (
 	"time"
 
 	"clockroute/api"
+	"clockroute/internal/telemetry"
 )
+
+// WithTraceContext returns ctx carrying a parsed W3C traceparent value:
+// subsequent client calls under ctx join that trace (each call still
+// propagates as its own child span) instead of minting fresh ones. An
+// unparsable header is ignored and ctx returned unchanged — a caller with
+// garbage trace state gets fresh traces, not failed routes.
+func WithTraceContext(ctx context.Context, traceparent string) context.Context {
+	tc, err := telemetry.ParseTraceParent(traceparent)
+	if err != nil {
+		return ctx
+	}
+	return telemetry.ContextWithTrace(ctx, tc)
+}
+
+// WithRequestID returns ctx carrying an explicit X-Request-Id for
+// subsequent client calls (defaults to the trace id when unset).
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return telemetry.ContextWithRequestID(ctx, id)
+}
 
 // APIError is a non-2xx response from the service, carrying the decoded
 // error body.
@@ -107,6 +135,10 @@ type CacheInfo struct {
 	Hit         bool   // server answered from its result cache (X-Cache: hit)
 	NotModified bool   // 304: the held response is still current; no body was resent
 	ETag        string // entity tag of the response (quoted problem hash)
+	// RequestID is the X-Request-Id the server answered under — the key
+	// for finding this exchange in the service's trace stream and
+	// /debug/slow.
+	RequestID string
 }
 
 // Route routes one net via POST /v1/route.
@@ -152,6 +184,19 @@ func (c *Client) post(ctx context.Context, path string, in, out any, etag string
 	if err != nil {
 		return nil, fmt.Errorf("client: encode request: %w", err)
 	}
+	// One trace identity per call, shared by every retry attempt: a trace
+	// riding ctx is joined as a child span, otherwise a fresh trace is
+	// minted. The request id follows the same rule.
+	tc, ok := telemetry.TraceFromContext(ctx)
+	if ok {
+		tc = tc.Child()
+	} else {
+		tc = telemetry.NewTraceContext()
+	}
+	rid := telemetry.RequestIDFromContext(ctx)
+	if rid == "" {
+		rid = tc.TraceHex()
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
@@ -160,7 +205,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any, etag string
 			}
 		}
 		var info *CacheInfo
-		info, lastErr = c.once(ctx, path, body, out, etag)
+		info, lastErr = c.once(ctx, path, body, out, etag, tc, rid)
 		if lastErr == nil {
 			return info, nil
 		}
@@ -176,12 +221,14 @@ func (c *Client) post(ctx context.Context, path string, in, out any, etag string
 }
 
 // once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, path string, body []byte, out any, etag string) (*CacheInfo, error) {
+func (c *Client) once(ctx context.Context, path string, body []byte, out any, etag string, tc telemetry.TraceContext, rid string) (*CacheInfo, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("client: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", tc.TraceParent())
+	req.Header.Set("X-Request-Id", rid)
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
@@ -191,8 +238,9 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any, et
 	}
 	defer resp.Body.Close()
 	info := &CacheInfo{
-		Hit:  resp.Header.Get("X-Cache") == "hit",
-		ETag: resp.Header.Get("ETag"),
+		Hit:       resp.Header.Get("X-Cache") == "hit",
+		ETag:      resp.Header.Get("ETag"),
+		RequestID: resp.Header.Get("X-Request-Id"),
 	}
 	if resp.StatusCode == http.StatusNotModified {
 		info.NotModified = true

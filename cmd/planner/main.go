@@ -101,7 +101,7 @@ func main() {
 	if *metricsAddr != "" {
 		progress = telemetry.NewProgress()
 		sinks = append(sinks, telemetry.Default(), progress)
-		srv, err := telemetry.NewServer(*metricsAddr, progress)
+		srv, err := telemetry.NewServer(*metricsAddr, telemetry.ServerOptions{Progress: progress})
 		if err != nil {
 			fail("metrics server", err)
 		}

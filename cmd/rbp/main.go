@@ -138,7 +138,7 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		sinks = append(sinks, telemetry.Default())
-		srv, err := telemetry.NewServer(*metricsAddr, nil)
+		srv, err := telemetry.NewServer(*metricsAddr, telemetry.ServerOptions{})
 		if err != nil {
 			fail("metrics server", err)
 		}

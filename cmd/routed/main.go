@@ -35,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -65,7 +66,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight searches are aborted")
 		cacheMB      = flag.Int64("cache-mb", 64, "result-cache byte budget in MiB (0 = caching off)")
 		cacheDir     = flag.String("cache-dir", "", "directory for cache snapshot segments; loaded at boot, written by 'routed cache snapshot' (empty = in-memory only)")
-		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /progress, and /debug/pprof on this address (empty = off)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /progress, /debug/slow, and /debug/pprof on this address (empty = off)")
+		slowMS       = flag.Int("slow-ms", 500, "slow-request SLO in milliseconds: slower requests are kept for /debug/slow and persisted to -trace (0 = off)")
 		traceFile    = flag.String("trace", "", "append JSONL span events to this file (empty = off)")
 		faultpoints  = flag.String("faultpoints", "", "arm fault-injection points, e.g. 'core.wave_push=panic@3,sink.write=delay:5ms' (also via FAULTPOINTS env)")
 		verbose      = flag.Bool("v", false, "debug-level logging")
@@ -90,6 +92,7 @@ func main() {
 	v.NonNegativeDuration("max-timeout", *maxTimeout)
 	v.NonNegativeDuration("drain-timeout", *drainTimeout)
 	v.NonNegativeInt("cache-mb", int(*cacheMB))
+	v.NonNegativeInt("slow-ms", *slowMS)
 	if err := v.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
@@ -118,19 +121,10 @@ func main() {
 		extra = append(extra, jsonl)
 		log.Info("tracing spans", "file", *traceFile)
 	}
+	var progress *telemetry.Progress
 	if *metricsAddr != "" {
-		progress := telemetry.NewProgress()
+		progress = telemetry.NewProgress()
 		extra = append(extra, progress)
-		msrv, err := telemetry.NewServer(*metricsAddr, progress)
-		if err != nil {
-			fail("metrics server", err)
-		}
-		defer msrv.Close()
-		msrv.Start()
-		log.Info("observability endpoints up",
-			"metrics", "http://"+msrv.Addr()+"/metrics",
-			"progress", "http://"+msrv.Addr()+"/progress",
-			"pprof", "http://"+msrv.Addr()+"/debug/pprof/")
 	}
 
 	svc := server.New(server.Config{
@@ -143,7 +137,32 @@ func main() {
 		CacheDir:       *cacheDir,
 		Metrics:        telemetry.Default(),
 		Sink:           telemetry.Multi(extra...),
+		SlowThreshold:  time.Duration(*slowMS) * time.Millisecond,
 	})
+
+	// The metrics server comes up after the service is built so it can
+	// mount the service's flight recorder and cache series; it goes down
+	// inside the drain path below, with the service, instead of being
+	// abandoned to process exit.
+	var msrv *telemetry.Server
+	if *metricsAddr != "" {
+		var err error
+		msrv, err = telemetry.NewServer(*metricsAddr, telemetry.ServerOptions{
+			Progress: progress,
+			Metrics:  telemetry.Default(),
+			Recorder: svc.FlightRecorder(),
+			Extra:    []func(io.Writer){svc.CachePrometheus()},
+		})
+		if err != nil {
+			fail("metrics server", err)
+		}
+		msrv.Start()
+		log.Info("observability endpoints up",
+			"metrics", "http://"+msrv.Addr()+"/metrics",
+			"progress", "http://"+msrv.Addr()+"/progress",
+			"slow", "http://"+msrv.Addr()+"/debug/slow",
+			"pprof", "http://"+msrv.Addr()+"/debug/pprof/")
+	}
 	if *cacheMB > 0 && *cacheDir != "" {
 		// Warm start: replay whatever snapshot segments the directory holds.
 		// Corruption is survivable — the readable prefix still warms the
@@ -186,6 +205,14 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Warn("http shutdown", "err", err)
+	}
+	if msrv != nil {
+		// The metrics listener drains with the service — an abandoned
+		// listener would hold the port (and its goroutine) past the
+		// service's death.
+		if err := msrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Warn("metrics shutdown", "err", err)
+		}
 	}
 	if jsonl != nil {
 		if err := jsonl.Err(); err != nil {

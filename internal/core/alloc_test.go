@@ -45,6 +45,13 @@ func TestSearchAllocBudgets(t *testing.T) {
 			return err
 		},
 		"gals": func() error { _, err := GALS(p, 300, 450, Options{}); return err },
+		// The unified entry point with telemetry disabled (nil sink) must
+		// cost the same as calling the algorithm directly: the tracing
+		// layer's zero-cost-when-off contract.
+		"route-untraced": func() error {
+			_, err := Route(context.Background(), p, Request{Kind: KindRBP, PeriodPS: 300})
+			return err
+		},
 	}
 	for name, run := range cases {
 		t.Run(name, func(t *testing.T) {

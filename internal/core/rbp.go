@@ -207,8 +207,8 @@ func rbp(p *Problem, T float64, opts Options, sc *Scratch) (*Result, error) {
 	res := &Result{}
 	e := newRBPEngine(p, T, opts, res, sc)
 
-	q := &sc.Q           // current wave, keyed by delay
-	qstar := &sc.Buf     // next wave; all entries share key Setup(r)
+	q := &sc.Q       // current wave, keyed by delay
+	qstar := &sc.Buf // next wave; all entries share key Setup(r)
 	e.emit = func(wave int, c *candidate.Candidate, key float64) {
 		if wave == e.curWave {
 			q.Push(key, c)

@@ -15,6 +15,7 @@ import (
 	"context"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -99,6 +100,14 @@ func MapIndexed[T any](ctx context.Context, workers, n int, fn func(ctx context.
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			// Adopt the pprof labels riding ctx (e.g. the server's
+			// request_id). A new goroutine inherits its spawner's label
+			// set, but ctx may carry labels the spawning goroutine never
+			// applied to itself, so they are installed explicitly: CPU
+			// profiles then attribute worker time to the request that
+			// scheduled it. The single-worker path above runs on the
+			// caller's goroutine, whose labels are the caller's business.
+			pprof.SetGoroutineLabels(ctx)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"text/tabwriter"
@@ -478,12 +479,22 @@ func (pl *Planner) RunParallel(ctx context.Context, workers int, specs []NetSpec
 }
 
 // routeNetTraced wraps one net's routing in a net_start/net_end span, with
-// the plan's sink relabeled so every event carries the net and worker.
+// the plan's sink relabeled so every event carries the net and worker, and
+// the worker goroutine pprof-labeled with the net and algorithm (joining
+// any request_id label already riding ctx) so CPU profiles break search
+// time down per net.
 func (pl *Planner) routeNetTraced(ctx context.Context, spec NetSpec, opts core.Options, worker int) NetResult {
 	netSink := telemetry.WithFields(opts.Telemetry, spec.Name, worker)
 	opts.Telemetry = netSink
 	netSink.Emit(telemetry.Event{Kind: telemetry.EventNetStart, TimeNS: telemetry.Now()})
-	res := pl.routeNet(ctx, spec, opts)
+	algo := string(ModeRBP)
+	if spec.SrcPeriodPS != spec.DstPeriodPS {
+		algo = string(ModeGALS)
+	}
+	var res NetResult
+	pprof.Do(ctx, pprof.Labels("net", spec.Name, "algo", algo), func(ctx context.Context) {
+		res = pl.routeNet(ctx, spec, opts)
+	})
 	end := telemetry.Event{
 		Kind: telemetry.EventNetEnd, TimeNS: telemetry.Now(),
 		Algo:      string(res.Mode),

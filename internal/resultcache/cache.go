@@ -56,6 +56,10 @@ type Cache struct {
 	misses  atomic.Int64
 	evicts  atomic.Int64
 
+	// window tracks hits/misses over a sliding ~60s window next to the
+	// lifetime counters above (see hitWindow).
+	window hitWindow
+
 	metrics *telemetry.Metrics
 }
 
@@ -135,17 +139,29 @@ func (c *Cache) Get(k Key) (any, bool) {
 	}
 	s.mu.Unlock()
 	if ok {
-		c.hits.Add(1)
-		if c.metrics != nil {
-			c.metrics.CacheHits.Inc()
-		}
+		c.countHit()
 		return v, true
 	}
+	c.countMiss()
+	return nil, false
+}
+
+// countHit / countMiss bump the lifetime counters, the sliding window,
+// and the shared registry for one logical lookup.
+func (c *Cache) countHit() {
+	c.hits.Add(1)
+	c.window.record(true)
+	if c.metrics != nil {
+		c.metrics.CacheHits.Inc()
+	}
+}
+
+func (c *Cache) countMiss() {
 	c.misses.Add(1)
+	c.window.record(false)
 	if c.metrics != nil {
 		c.metrics.CacheMisses.Inc()
 	}
-	return nil, false
 }
 
 // Peek is Get for callers that fall through to Do on absence: a present
@@ -165,10 +181,7 @@ func (c *Cache) Peek(k Key) (any, bool) {
 	if !ok {
 		return nil, false
 	}
-	c.hits.Add(1)
-	if c.metrics != nil {
-		c.metrics.CacheHits.Inc()
-	}
+	c.countHit()
 	return v, true
 }
 
@@ -254,10 +267,7 @@ func (c *Cache) Do(ctx context.Context, k Key, refresh bool, compute func() (any
 			s.moveToFront(e)
 			v = e.val // copied under the lock; see Get
 			s.mu.Unlock()
-			c.hits.Add(1)
-			if c.metrics != nil {
-				c.metrics.CacheHits.Inc()
-			}
+			c.countHit()
 			return v, true, nil
 		}
 	}
@@ -270,10 +280,7 @@ func (c *Cache) Do(ctx context.Context, k Key, refresh bool, compute func() (any
 	s.flights[k] = f
 	s.mu.Unlock()
 
-	c.misses.Add(1)
-	if c.metrics != nil {
-		c.metrics.CacheMisses.Inc()
-	}
+	c.countMiss()
 	go c.runFlight(s, k, f, compute)
 	v, err = c.waitFlight(ctx, f, false)
 	return v, false, err
@@ -323,10 +330,7 @@ func (c *Cache) waitFlight(ctx context.Context, f *flight, countHit bool) (any, 
 		return nil, f.err
 	}
 	if countHit {
-		c.hits.Add(1)
-		if c.metrics != nil {
-			c.metrics.CacheHits.Inc()
-		}
+		c.countHit()
 	}
 	return f.val, nil
 }
@@ -353,25 +357,32 @@ func (c *Cache) Bytes() int64 { return c.bytes.Load() }
 // MaxBytes reports the configured whole-cache budget.
 func (c *Cache) MaxBytes() int64 { return c.max }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the cache counters. Hits/Misses
+// are lifetime totals; WindowHits/WindowMisses cover the sliding ~60s
+// window only.
 type Stats struct {
-	Entries   int
-	Bytes     int64
-	MaxBytes  int64
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Entries      int
+	Bytes        int64
+	MaxBytes     int64
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+	WindowHits   int64
+	WindowMisses int64
 }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
+	wh, wm := c.window.totals()
 	return Stats{
-		Entries:   c.Len(),
-		Bytes:     c.Bytes(),
-		MaxBytes:  c.max,
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evicts.Load(),
+		Entries:      c.Len(),
+		Bytes:        c.Bytes(),
+		MaxBytes:     c.max,
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evicts.Load(),
+		WindowHits:   wh,
+		WindowMisses: wm,
 	}
 }
 

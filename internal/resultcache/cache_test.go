@@ -377,7 +377,7 @@ func TestConcurrentMixedOps(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				k := key(byte(i % 32), byte(w))
+				k := key(byte(i%32), byte(w))
 				switch i % 3 {
 				case 0:
 					c.Put(k, i, 64)

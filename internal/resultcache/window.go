@@ -1,0 +1,131 @@
+package resultcache
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// hitWindow tracks hits and misses over a sliding window so the cache can
+// report a recent hit rate, not just the lifetime one (which a long-lived
+// process's history pins in place long after traffic changes). The window
+// is a ring of coarse time buckets: each lookup lands in the bucket of
+// the current epoch (bucketSeconds wide), a bucket is lazily reset when
+// its epoch slot is reused, and the windowed totals sum every bucket
+// whose epoch is still inside the window. Everything is atomic — lookups
+// on the cache hot path pay two atomic ops, no lock.
+type hitWindow struct {
+	buckets [windowBuckets]windowBucket
+	// now returns Unix seconds; replaceable so tests drive the clock.
+	now func() int64
+}
+
+const (
+	// windowBuckets × bucketSeconds = a 60-second sliding window, with
+	// one-bucket granularity error at the trailing edge.
+	windowBuckets = 6
+	bucketSeconds = 10
+)
+
+type windowBucket struct {
+	epoch  atomic.Int64 // the bucket-epoch these counts belong to
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func (w *hitWindow) clock() int64 {
+	if w.now != nil {
+		return w.now()
+	}
+	return time.Now().Unix()
+}
+
+// record counts one lookup into the current bucket, reclaiming the slot
+// first if it still holds a past epoch's counts. The CAS race on reset is
+// benign in aggregate: losers of the epoch swap re-check and their counts
+// land in the freshly reset bucket.
+func (w *hitWindow) record(hit bool) {
+	epoch := w.clock() / bucketSeconds
+	b := &w.buckets[epoch%windowBuckets]
+	for {
+		e := b.epoch.Load()
+		if e == epoch {
+			break
+		}
+		if b.epoch.CompareAndSwap(e, epoch) {
+			// This writer claimed the slot for the new epoch; the stale
+			// counts are dropped. A concurrent recorder of the stale epoch
+			// can at worst leak a count or two into the new bucket —
+			// tolerable for a rate, never corrupting.
+			b.hits.Store(0)
+			b.misses.Store(0)
+			break
+		}
+	}
+	if hit {
+		b.hits.Add(1)
+	} else {
+		b.misses.Add(1)
+	}
+}
+
+// totals sums the buckets still inside the window.
+func (w *hitWindow) totals() (hits, misses int64) {
+	epoch := w.clock() / bucketSeconds
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if e := b.epoch.Load(); e > epoch-windowBuckets && e <= epoch {
+			hits += b.hits.Load()
+			misses += b.misses.Load()
+		}
+	}
+	return hits, misses
+}
+
+// ShardStat is one shard's live footprint.
+type ShardStat struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// ShardStats snapshots every shard's entry and byte counts, in shard
+// order. A skewed distribution here means the byte budget is effectively
+// smaller than configured — each shard enforces only its own slice.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{Entries: len(s.items), Bytes: s.bytes}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// WindowStats reports hits and misses over the sliding window (~60s).
+func (c *Cache) WindowStats() (hits, misses int64) { return c.window.totals() }
+
+// WritePrometheus appends the cache's Prometheus series — per-shard
+// entry/byte gauges and the windowed hit rate — to w. The server passes
+// this as an extra writer to the telemetry exposition, after the
+// registry's own cache_hits/cache_misses/cache_bytes totals.
+func (c *Cache) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP clockroute_cache_shard_entries Live entries per cache shard.\n# TYPE clockroute_cache_shard_entries gauge\n")
+	stats := c.ShardStats()
+	for i, st := range stats {
+		fmt.Fprintf(w, "clockroute_cache_shard_entries{shard=\"%d\"} %d\n", i, st.Entries)
+	}
+	fmt.Fprintf(w, "# HELP clockroute_cache_shard_bytes Live bytes per cache shard.\n# TYPE clockroute_cache_shard_bytes gauge\n")
+	for i, st := range stats {
+		fmt.Fprintf(w, "clockroute_cache_shard_bytes{shard=\"%d\"} %d\n", i, st.Bytes)
+	}
+	hits, misses := c.WindowStats()
+	fmt.Fprintf(w, "# HELP clockroute_cache_window_hits Cache hits in the sliding window.\n# TYPE clockroute_cache_window_hits gauge\nclockroute_cache_window_hits %d\n", hits)
+	fmt.Fprintf(w, "# HELP clockroute_cache_window_misses Cache misses in the sliding window.\n# TYPE clockroute_cache_window_misses gauge\nclockroute_cache_window_misses %d\n", misses)
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "# HELP clockroute_cache_window_hit_rate Hit fraction over the sliding window.\n# TYPE clockroute_cache_window_hit_rate gauge\nclockroute_cache_window_hit_rate %g\n", rate)
+}

@@ -1,0 +1,120 @@
+package resultcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHitWindowSlides drives the window's injectable clock: counts land in
+// the current bucket, survive while inside the window, and age out once
+// the clock moves a full window past them.
+func TestHitWindowSlides(t *testing.T) {
+	var now int64
+	w := &hitWindow{now: func() int64 { return now }}
+
+	w.record(true)
+	w.record(true)
+	w.record(false)
+	if h, m := w.totals(); h != 2 || m != 1 {
+		t.Fatalf("totals = %d/%d, want 2/1", h, m)
+	}
+
+	// Two buckets later the counts are still inside the 60s window.
+	now += 2 * bucketSeconds
+	w.record(true)
+	if h, m := w.totals(); h != 3 || m != 1 {
+		t.Fatalf("totals after slide = %d/%d, want 3/1", h, m)
+	}
+
+	// A full window later only the epoch-0 bucket has aged out; the one
+	// recorded at +2 buckets is at the trailing edge.
+	now = windowBuckets * bucketSeconds
+	if h, m := w.totals(); h != 1 || m != 0 {
+		t.Fatalf("totals after expiry = %d/%d, want 1/0", h, m)
+	}
+
+	// Far future: everything is stale, and the first record in a reused
+	// slot resets the stale counts instead of inheriting them.
+	now = 100 * windowBuckets * bucketSeconds
+	if h, m := w.totals(); h != 0 || m != 0 {
+		t.Fatalf("totals in far future = %d/%d, want 0/0", h, m)
+	}
+	w.record(false)
+	if h, m := w.totals(); h != 0 || m != 1 {
+		t.Fatalf("totals after slot reuse = %d/%d, want 0/1", h, m)
+	}
+}
+
+// TestCacheWindowAndShardStats checks the cache-level plumbing: lookups
+// feed the window, ShardStats accounts every entry and byte, and the
+// Prometheus writer emits the per-shard and window series.
+func TestCacheWindowAndShardStats(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 4})
+	var now int64
+	c.window.now = func() int64 { return now }
+
+	keys := make([]Key, 8)
+	for i := range keys {
+		keys[i][0] = byte(i + 1)
+		c.Put(keys[i], i, 100)
+	}
+	for _, k := range keys {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("key %x missing", k[:1])
+		}
+	}
+	if _, ok := c.Get(Key{0xff}); ok {
+		t.Fatal("phantom hit")
+	}
+
+	st := c.Stats()
+	if st.WindowHits != 8 || st.WindowMisses != 1 {
+		t.Errorf("window = %d/%d, want 8/1", st.WindowHits, st.WindowMisses)
+	}
+	if st.Hits != 8 || st.Misses != 1 {
+		t.Errorf("lifetime = %d/%d, want 8/1", st.Hits, st.Misses)
+	}
+
+	shards := c.ShardStats()
+	if len(shards) != 4 {
+		t.Fatalf("%d shards, want 4", len(shards))
+	}
+	var entries int
+	var bytes int64
+	for _, s := range shards {
+		entries += s.Entries
+		bytes += s.Bytes
+	}
+	if entries != 8 {
+		t.Errorf("shard entries sum = %d, want 8", entries)
+	}
+	if want := int64(8 * 100); bytes != want {
+		t.Errorf("shard bytes sum = %d, want %d", bytes, want)
+	}
+
+	// The window ages out; the lifetime counters don't.
+	now += (windowBuckets + 1) * bucketSeconds
+	st = c.Stats()
+	if st.WindowHits != 0 || st.WindowMisses != 0 {
+		t.Errorf("window after expiry = %d/%d, want 0/0", st.WindowHits, st.WindowMisses)
+	}
+	if st.Hits != 8 {
+		t.Errorf("lifetime hits aged out: %d", st.Hits)
+	}
+
+	var sb strings.Builder
+	now = 0 // back inside the recorded window
+	c.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`clockroute_cache_shard_entries{shard="0"}`,
+		`clockroute_cache_shard_bytes{shard="3"}`,
+		"clockroute_cache_window_hits 8",
+		"clockroute_cache_window_misses 1",
+		"clockroute_cache_window_hit_rate 0.888888",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

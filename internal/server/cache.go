@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"clockroute/api"
@@ -42,6 +43,16 @@ func cacheKey(h api.ProblemHash, domain byte) resultcache.Key {
 
 // Cache returns the server's result cache, nil when disabled.
 func (s *Server) Cache() *resultcache.Cache { return s.cache }
+
+// CachePrometheus returns a writer appending the cache's per-shard and
+// windowed-hit-rate series to a Prometheus exposition (nil when the cache
+// is disabled) — cmd/routed passes it to telemetry.NewServer as an Extra.
+func (s *Server) CachePrometheus() func(io.Writer) {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache.WritePrometheus
+}
 
 // cacheMode resolves the effective mode for this request: a disabled
 // cache behaves as bypass regardless of what the request asked for.
@@ -152,6 +163,16 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 		out["misses"] = st.Misses
 		out["evictions"] = st.Evictions
 		out["dir"] = s.cfg.CacheDir
+		out["shards"] = s.cache.ShardStats()
+		rate := 0.0
+		if st.WindowHits+st.WindowMisses > 0 {
+			rate = float64(st.WindowHits) / float64(st.WindowHits+st.WindowMisses)
+		}
+		out["window"] = map[string]any{
+			"hits":     st.WindowHits,
+			"misses":   st.WindowMisses,
+			"hit_rate": rate,
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -541,4 +541,25 @@ func TestCacheAdminEndpoints(t *testing.T) {
 	if stats["enabled"] != true || stats["entries"] != float64(s.Cache().Len()) {
 		t.Fatalf("stats %v", stats)
 	}
+
+	// Per-shard occupancy and the windowed hit rate ride along.
+	shards, ok := stats["shards"].([]any)
+	if !ok || len(shards) == 0 {
+		t.Fatalf("stats missing per-shard breakdown: %v", stats["shards"])
+	}
+	var entries float64
+	for _, sh := range shards {
+		entries += sh.(map[string]any)["entries"].(float64)
+	}
+	if entries != float64(s.Cache().Len()) {
+		t.Errorf("shard entries sum %v != cache len %d", entries, s.Cache().Len())
+	}
+	window, ok := stats["window"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing window: %v", stats)
+	}
+	// The one route above was a miss; rate over the window is 0 of 1.
+	if window["misses"] != 1.0 || window["hit_rate"] != 0.0 {
+		t.Errorf("window = %v, want 1 miss, rate 0", window)
+	}
 }

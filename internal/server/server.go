@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -74,6 +75,19 @@ type Config struct {
 	// Sink, when non-nil, additionally receives every span event (e.g. a
 	// JSONL trace); it is fanned in next to Metrics.
 	Sink telemetry.Sink
+	// SlowThreshold, when positive, arms the slow-request flight recorder:
+	// requests whose wall time reaches it have their full span tree
+	// retained for GET /debug/slow and persisted to Sink as a slow_request
+	// event. Zero disables recording (cmd/routed defaults to 500ms via
+	// -slow-ms).
+	SlowThreshold time.Duration
+	// SlowKeep is the flight recorder's ring size (default 32).
+	SlowKeep int
+	// SlowDegradeThreshold is the number of consecutive slow requests
+	// after which /healthz reports "degraded", mirroring the panic
+	// threshold: one slow request is an outlier, an unbroken run is an
+	// instance in trouble. Zero disables the slow-driven degraded state.
+	SlowDegradeThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = telemetry.Default()
 	}
+	if c.SlowKeep <= 0 {
+		c.SlowKeep = 32
+	}
 	return c
 }
 
@@ -112,6 +129,10 @@ type Server struct {
 
 	// cache memoizes results by canonical problem hash; nil when disabled.
 	cache *resultcache.Cache
+
+	// flightRec retains slow-request span trees for /debug/slow; nil (all
+	// methods nil-safe) when Config.SlowThreshold is zero.
+	flightRec *telemetry.FlightRecorder
 
 	sem    chan struct{} // in-flight slots
 	queued chan struct{} // wait-queue slots
@@ -156,6 +177,9 @@ func New(cfg Config) *Server {
 			Metrics:  cfg.Metrics,
 		})
 	}
+	if cfg.SlowThreshold > 0 {
+		s.flightRec = telemetry.NewFlightRecorder(cfg.SlowThreshold, cfg.SlowKeep, cfg.Sink, cfg.Metrics)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/route", s.handleRoute)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
@@ -163,14 +187,25 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
 	s.mux.HandleFunc("POST /v1/cache/snapshot", s.handleCacheSnapshot)
 	s.mux.HandleFunc("POST /v1/cache/load", s.handleCacheLoad)
+	if s.flightRec != nil {
+		s.mux.Handle("GET /debug/slow", s.flightRec)
+	}
 	return s
 }
 
-// Handler returns the service's HTTP handler, wrapped in the panic
-// recovery middleware: a panicking handler yields a 500 with the panic
-// classified as core.ErrInternal, increments request_panics, and leaves
-// the process (and every other in-flight request) untouched.
-func (s *Server) Handler() http.Handler { return s.recovered(s.mux) }
+// FlightRecorder returns the slow-request flight recorder, nil when
+// Config.SlowThreshold is zero. cmd/routed mounts it on the metrics
+// server so /debug/slow is reachable on the private port too.
+func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.flightRec }
+
+// Handler returns the service's HTTP handler, wrapped in the trace
+// middleware (trace context, X-Request-Id echo, span recording — see
+// traced) and the panic recovery middleware: a panicking handler yields
+// a 500 with the panic classified as core.ErrInternal, increments
+// request_panics, and leaves the process (and every other in-flight
+// request) untouched. traced sits outermost so even panicking requests
+// carry trace headers and land in the flight recorder.
+func (s *Server) Handler() http.Handler { return s.traced(s.recovered(s.mux)) }
 
 // recovered is the service's outermost containment boundary.
 func (s *Server) recovered(next http.Handler) http.Handler {
@@ -198,10 +233,17 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 func (s *Server) Panics() int64 { return s.panics.Load() }
 
 // Degraded reports whether contained panics have crossed the configured
-// health threshold.
+// health threshold, or consecutive SLO breaches have crossed the slow
+// threshold — either way the instance keeps serving but should be
+// rotated out.
 func (s *Server) Degraded() bool {
-	t := s.cfg.PanicDegradeThreshold
-	return t > 0 && s.panics.Load() >= int64(t)
+	if t := s.cfg.PanicDegradeThreshold; t > 0 && s.panics.Load() >= int64(t) {
+		return true
+	}
+	if t := s.cfg.SlowDegradeThreshold; t > 0 && s.flightRec.ConsecutiveSlow() >= int64(t) {
+		return true
+	}
+	return false
 }
 
 // InFlight reports the number of requests currently holding a slot.
@@ -331,12 +373,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         status,
 		"in_flight":      s.InFlight(),
 		"queued":         s.Queued(),
 		"request_panics": s.Panics(),
-	})
+	}
+	if s.flightRec != nil {
+		body["slow_requests"] = s.flightRec.Slow()
+		body["slo_ms"] = float64(s.flightRec.SLO()) / float64(time.Millisecond)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -344,7 +391,11 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	m := s.cfg.Metrics
 	m.Requests.Inc()
 	defer s.observeLatency(start)
+	rec := telemetry.RecorderFromContext(r.Context())
+	tc, _ := telemetry.TraceFromContext(r.Context())
+	rid := telemetry.RequestIDFromContext(r.Context())
 
+	endDecode := rec.Phase("decode")
 	// server.decode: chaos injection at the request boundary — error mode
 	// maps to a 400 like any malformed body, panic mode exercises the
 	// recovery middleware (500, request_panics, process stays up).
@@ -367,6 +418,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	hash := canon.Hash()
 	reqMode := req.Cache.EffectiveMode() // what the client asked for
 	mode := s.cacheMode(req.Cache)       // bypass when the cache is off
+	endDecode()
+	rec.SetAttr("problem_hash", hash.Hex())
+	rec.SetAttr("algo", req.Kind)
 
 	leave, ok := s.enter()
 	if !ok {
@@ -374,6 +428,8 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer leave()
+
+	endCache := rec.Phase("cache")
 
 	// Conditional request: the ETag is the problem's content address and
 	// routing is deterministic, so a matching If-None-Match means the
@@ -398,13 +454,16 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	endCache()
 
+	endAdmission := rec.Phase("admission")
 	release, err := s.admit(r.Context())
 	if err != nil {
 		s.refuse(w, err)
 		return
 	}
 	defer release()
+	endAdmission()
 	if s.testHookAdmitted != nil {
 		s.testHookAdmitted()
 	}
@@ -414,13 +473,20 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	coreReq.Options.Telemetry = s.sink
+	coreReq.Options.Telemetry = s.requestSink(rec, tc, rid)
 	coreReq.Options.MaxConfigs = req.MaxConfigs
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
 
 	run := func(ctx context.Context) (any, int64, error) {
-		res, err := core.Route(ctx, prob, coreReq)
+		// The algo pprof label joins the middleware's request_id label on
+		// this goroutine (and is inherited by a detached flight goroutine),
+		// so CPU profiles attribute search time per request and algorithm.
+		var res *core.Result
+		var err error
+		pprof.Do(ctx, pprof.Labels("algo", req.Kind), func(ctx context.Context) {
+			res, err = core.Route(ctx, prob, coreReq)
+		})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -433,6 +499,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return resp, size, nil
 	}
 
+	endSearch := rec.Phase("search")
 	var v any
 	var joined bool
 	if mode == api.CacheModeBypass {
@@ -458,15 +525,18 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.failSearch(w, searchErr(err))
 		return
 	}
+	endSearch()
 	resp := v.(*api.RouteResponse)
 	if joined {
 		cp := *resp
 		cp.Cached = true
 		resp = &cp
 	}
+	endEncode := rec.Phase("encode")
 	w.Header().Set("ETag", hash.ETag())
 	w.Header().Set("X-Cache", xcache(joined))
 	writeJSON(w, http.StatusOK, resp)
+	endEncode()
 }
 
 func xcache(hit bool) string {
@@ -519,7 +589,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	m := s.cfg.Metrics
 	m.Requests.Inc()
 	defer s.observeLatency(start)
+	rec := telemetry.RecorderFromContext(r.Context())
+	tc, _ := telemetry.TraceFromContext(r.Context())
+	rid := telemetry.RequestIDFromContext(r.Context())
 
+	endDecode := rec.Phase("decode")
 	if err := faultpoint.Check("server.decode"); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -540,8 +614,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		hashes[i] = p.Hash()
+		// Register each net's content address so its span carries it the
+		// moment a worker opens the net — a slow miss in the tree is then
+		// directly replayable against /v1/route.
+		rec.SetNetAttr(req.Nets[i].Name, "problem_hash", hashes[i].Hex())
 	}
 	mode := s.cacheMode(req.Cache)
+	endDecode()
 
 	leave, ok := s.enter()
 	if !ok {
@@ -550,6 +629,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	defer leave()
 
+	endCache := rec.Phase("cache")
 	results := make([]api.NetResult, len(req.Nets))
 	have := make([]bool, len(req.Nets))
 	if mode == api.CacheModeDefault {
@@ -565,21 +645,24 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			missIdx = append(missIdx, i)
 		}
 	}
+	endCache()
 
 	stats := api.PlanStats{NetsRouted: len(req.Nets) - len(missIdx)}
 	if len(missIdx) > 0 {
 		// Only the misses pay for admission and search slots.
+		endAdmission := rec.Phase("admission")
 		release, err := s.admit(r.Context())
 		if err != nil {
 			s.refuse(w, err)
 			return
 		}
 		defer release()
+		endAdmission()
 		if s.testHookAdmitted != nil {
 			s.testHookAdmitted()
 		}
 
-		pl, specs, err := buildPlan(req, s.cfg.Tech, s.sink)
+		pl, specs, err := buildPlan(req, s.cfg.Tech, s.requestSink(rec, tc, rid))
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, err)
 			return
@@ -594,7 +677,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 		defer cancel()
+		endSearch := rec.Phase("search")
 		plan, err := pl.RunParallel(ctx, workers, missSpecs)
+		endSearch()
 		if err != nil {
 			// Spec-level validation failures; routing errors live per net.
 			s.fail(w, http.StatusBadRequest, err)
@@ -625,8 +710,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		stats.NetsRouted += len(req.Nets) - len(missIdx)
 	}
 
+	endEncode := rec.Phase("encode")
 	w.Header().Set("X-Cache", xcache(len(missIdx) == 0))
 	writeJSON(w, http.StatusOK, &api.PlanResponse{Nets: results, Stats: stats})
+	endEncode()
 }
 
 // observeLatency records one request's wall time on the latency histogram.

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/pprof"
+
+	"clockroute/internal/telemetry"
+)
+
+// statusWriter captures the response status for the span tree. Handlers
+// in this package answer with plain JSON bodies, so the extra interfaces
+// (Flusher, Hijacker) are deliberately not forwarded.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// traced is the service's outermost middleware: it extracts (or mints)
+// the W3C trace context and request id, echoes both on every response —
+// sheds, drains, cache hits, and panics included, since the headers are
+// set before the handler runs — stamps them into the request context
+// with a per-request span Recorder, labels the request goroutine for CPU
+// profiles, and hands the finished span tree to the flight recorder.
+func (s *Server) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		incoming, perr := telemetry.ParseTraceParent(r.Header.Get("traceparent"))
+		var own telemetry.TraceContext // the span identity this service responds as
+		if perr == nil {
+			own = incoming.Child()
+		} else {
+			own = telemetry.NewTraceContext()
+			incoming = telemetry.TraceContext{TraceID: own.TraceID} // no parent span
+		}
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = own.TraceHex()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		w.Header().Set("traceparent", own.TraceParent())
+
+		rec := telemetry.NewRecorder(incoming, rid, r.URL.Path)
+		ctx := telemetry.ContextWithTrace(r.Context(), own)
+		ctx = telemetry.ContextWithRequestID(ctx, rid)
+		ctx = telemetry.ContextWithRecorder(ctx, rec)
+
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			// Runs even when an http.ErrAbortHandler re-panic is passing
+			// through, so every request lands in the flight recorder.
+			s.flightRec.Observe(rec.Finish(sw.status, nil))
+		}()
+		pprof.Do(ctx, pprof.Labels("request_id", rid), func(ctx context.Context) {
+			next.ServeHTTP(sw, r.WithContext(ctx))
+		})
+	})
+}
+
+// requestSink builds the per-request telemetry fan-out: the process sink
+// stamped with the request's trace identity, plus the request's own span
+// recorder. Search and net events emitted under this sink land both on
+// the shared registry/JSONL stream (grouped by trace id) and in the
+// request's span tree.
+func (s *Server) requestSink(rec *telemetry.Recorder, own telemetry.TraceContext, rid string) telemetry.Sink {
+	return telemetry.Multi(telemetry.WithTrace(s.sink, own.TraceHex(), rid), rec)
+}

@@ -165,6 +165,9 @@ type Metrics struct {
 	// RequestPanics counts handler panics contained by the server's
 	// recovery middleware (each one a 500, never a crash).
 	RequestPanics Counter
+	// SlowRequests counts requests whose wall time breached the flight
+	// recorder's SLO (see FlightRecorder).
+	SlowRequests Counter
 	// ScratchQuarantines counts pooled search scratches discarded after a
 	// contained panic instead of being returned to the pool (core.Scratch
 	// quarantine rule). Only the Default registry receives these — the
@@ -256,6 +259,7 @@ func (m *Metrics) Snapshot() map[string]any {
 		"shed":           m.Shed.Value(),
 		"request_aborts": m.RequestAborts.Value(),
 		"request_panics": m.RequestPanics.Value(),
+		"slow_requests":  m.SlowRequests.Value(),
 
 		"scratch_quarantines": m.ScratchQuarantines.Value(),
 

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promFamily is one parsed metric family from the text exposition.
+type promFamily struct {
+	typ     string
+	samples map[string]float64 // full sample line key (name{labels}) -> value
+}
+
+var promNameRE = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+
+// parsePrometheus is a small strict parser for the subset of the 0.0.4
+// text format the renderer emits. It fails the test on any line it does
+// not understand — the exposition must be parseable, not just greppable.
+func parsePrometheus(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := make(map[string]*promFamily)
+	family := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{samples: make(map[string]float64)}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			family(parts[2]).typ = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, valText := line[:sp], line[sp+1:]
+		var val float64
+		switch valText {
+		case "+Inf":
+			val = math.Inf(1)
+		case "-Inf":
+			val = math.Inf(-1)
+		case "NaN":
+			val = math.NaN()
+		default:
+			v, err := strconv.ParseFloat(valText, 64)
+			if err != nil {
+				t.Fatalf("bad sample value in %q: %v", line, err)
+			}
+			val = v
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			name = key[:i]
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("malformed labels in %q", line)
+			}
+		}
+		if !promNameRE.MatchString(name) {
+			t.Fatalf("metric name %q does not match [a-z_][a-z0-9_]*", name)
+		}
+		// A histogram's _bucket/_sum/_count samples belong to the base family.
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := fams[strings.TrimSuffix(name, suffix)]; ok && f.typ == "histogram" && strings.HasSuffix(name, suffix) {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if _, dup := family(base).samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		family(base).samples[key] = val
+	}
+	return fams
+}
+
+// checkHistogram asserts the family is a well-formed cumulative histogram:
+// monotone buckets, a +Inf bucket, and +Inf == _count.
+func checkHistogram(t *testing.T, name string, f *promFamily) {
+	t.Helper()
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	var buckets []bucket
+	var count, haveCount float64
+	var haveInf bool
+	for key, val := range f.samples {
+		switch {
+		case strings.HasPrefix(key, name+"_bucket{"):
+			le := key[strings.Index(key, `le="`)+4 : strings.LastIndex(key, `"`)]
+			if le == "+Inf" {
+				haveInf = true
+				buckets = append(buckets, bucket{math.Inf(1), val})
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("%s: bad le %q", name, le)
+			}
+			buckets = append(buckets, bucket{b, val})
+		case key == name+"_count":
+			count, haveCount = val, 1
+		}
+	}
+	if !haveInf {
+		t.Fatalf("%s: no +Inf bucket", name)
+	}
+	if haveCount == 0 {
+		t.Fatalf("%s: no _count", name)
+	}
+	for i := range buckets {
+		for j := range buckets {
+			if buckets[i].le < buckets[j].le && buckets[i].val > buckets[j].val {
+				t.Fatalf("%s: buckets not cumulative: le=%g:%g > le=%g:%g",
+					name, buckets[i].le, buckets[i].val, buckets[j].le, buckets[j].val)
+			}
+		}
+		if math.IsInf(buckets[i].le, 1) && buckets[i].val != count {
+			t.Fatalf("%s: +Inf bucket %g != _count %g", name, buckets[i].val, count)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Searches.Add(5)
+	m.CacheHits.Add(3)
+	m.NetsInFlight.Set(2)
+	for _, v := range []float64{0.5, 3, 3, 900, 1e6} {
+		m.RequestLatencyMS.Observe(v)
+		m.NetLatencyMS.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, m, func(w io.Writer) {
+		fmt.Fprintf(w, "# HELP clockroute_extra_series Extra writer output.\n# TYPE clockroute_extra_series gauge\nclockroute_extra_series 1\n")
+	})
+	fams := parsePrometheus(t, buf.String())
+
+	if f := fams["clockroute_searches_total"]; f == nil || f.typ != "counter" || f.samples["clockroute_searches_total"] != 5 {
+		t.Errorf("searches_total family wrong: %+v", f)
+	}
+	if f := fams["clockroute_cache_hits_total"]; f == nil || f.samples["clockroute_cache_hits_total"] != 3 {
+		t.Errorf("cache_hits_total family wrong: %+v", f)
+	}
+	if f := fams["clockroute_nets_in_flight"]; f == nil || f.typ != "gauge" || f.samples["clockroute_nets_in_flight"] != 2 {
+		t.Errorf("nets_in_flight family wrong: %+v", f)
+	}
+	for _, h := range []string{"clockroute_request_latency_ms", "clockroute_net_latency_ms", "clockroute_gc_pause_seconds"} {
+		f := fams[h]
+		if f == nil {
+			t.Fatalf("missing histogram %s", h)
+		}
+		if f.typ != "histogram" {
+			t.Fatalf("%s type = %q", h, f.typ)
+		}
+		checkHistogram(t, h, f)
+	}
+	// The observed histogram's count must be exact.
+	if got := fams["clockroute_request_latency_ms"].samples["clockroute_request_latency_ms_count"]; got != 5 {
+		t.Errorf("request_latency_ms_count = %g, want 5", got)
+	}
+	// Runtime gauges are present and sane.
+	if g := fams["clockroute_goroutines"]; g == nil || g.samples["clockroute_goroutines"] < 1 {
+		t.Errorf("goroutines gauge missing or zero: %+v", g)
+	}
+	if g := fams["clockroute_heap_bytes"]; g == nil || g.samples["clockroute_heap_bytes"] <= 0 {
+		t.Errorf("heap_bytes gauge missing or zero: %+v", g)
+	}
+	// Extra writers land after the registry.
+	if g := fams["clockroute_extra_series"]; g == nil || g.samples["clockroute_extra_series"] != 1 {
+		t.Error("extra writer output missing")
+	}
+}
+
+// TestServerStartStopNoLeak pins the metrics server's lifecycle: starting
+// and shutting one down leaves no goroutines behind, so the routed drain
+// path can own it without leaking on every restart cycle.
+func TestServerStartStopNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		srv, err := NewServer("127.0.0.1:0", ServerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err = srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}
+	// The HTTP client keeps idle connections; drop them before counting.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

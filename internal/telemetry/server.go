@@ -1,20 +1,41 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
+
+// ServerOptions configures the debug server's routes. All fields are
+// optional; the zero value serves metrics from the Default registry.
+type ServerOptions struct {
+	// Progress mounts /progress with the tracker's in-flight snapshot.
+	Progress *Progress
+	// Metrics backs the Prometheus exposition; nil means Default().
+	Metrics *Metrics
+	// Recorder mounts /debug/slow with the retained slow-request trees.
+	Recorder *FlightRecorder
+	// Extra appends per-subsystem Prometheus series after the registry
+	// (the routing service passes the result cache's shard series).
+	Extra []func(io.Writer)
+}
 
 // Server is the opt-in debug endpoint behind the CLIs' -metrics-addr flag.
 // It serves:
 //
-//	/metrics        expvar JSON (the published Metrics registries plus the
-//	                stdlib memstats/cmdline vars)
+//	/metrics        Prometheus text exposition (format 0.0.4) by default;
+//	                expvar-style JSON via ?format=json or Accept:
+//	                application/json
+//	/debug/vars     expvar JSON (the published registries plus the stdlib
+//	                memstats/cmdline vars)
 //	/progress       the Progress tracker's in-flight snapshot
+//	/debug/slow     the flight recorder's slow-request span trees
 //	/debug/pprof/*  the standard pprof profiles
 //
 // Handlers are mounted on a private mux, not http.DefaultServeMux, so
@@ -25,21 +46,30 @@ type Server struct {
 }
 
 // NewServer binds addr (e.g. ":9090", "127.0.0.1:0") and returns a server
-// ready to Start. progress may be nil, dropping the /progress route.
-func NewServer(addr string, progress *Progress) (*Server, error) {
+// ready to Start.
+func NewServer(addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	m := opts.Metrics
+	if m == nil {
+		m = Default()
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", expvar.Handler())
-	if progress != nil {
+	mux.HandleFunc("/metrics", metricsHandler(m, opts.Extra))
+	mux.Handle("/debug/vars", expvar.Handler())
+	if opts.Progress != nil {
+		progress := opts.Progress
 		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			enc.Encode(progress.Snapshot())
 		})
+	}
+	if opts.Recorder != nil {
+		mux.Handle("/debug/slow", opts.Recorder)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -52,6 +82,24 @@ func NewServer(addr string, progress *Progress) (*Server, error) {
 	}, nil
 }
 
+// metricsHandler negotiates /metrics between the Prometheus text format
+// (the default, what scrapers expect) and the legacy expvar JSON
+// (?format=json, or an Accept header preferring application/json).
+func metricsHandler(m *Metrics, extra []func(io.Writer)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		format := r.URL.Query().Get("format")
+		if format == "" && strings.Contains(r.Header.Get("Accept"), "application/json") {
+			format = "json"
+		}
+		if format == "json" {
+			expvar.Handler().ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", PrometheusContentType)
+		WritePrometheus(w, m, extra...)
+	}
+}
+
 // Addr returns the bound address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
@@ -59,6 +107,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Start() {
 	go s.srv.Serve(s.ln)
 }
+
+// Shutdown drains the server gracefully: the listener closes immediately,
+// in-flight scrapes finish, bounded by ctx. Part of the service's drain
+// path so the metrics port dies with the process, not after it.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // Close shuts the listener down and releases the port.
 func (s *Server) Close() error { return s.srv.Close() }

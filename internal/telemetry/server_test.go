@@ -9,12 +9,14 @@ import (
 )
 
 // TestServerEndpoints boots the debug server on an ephemeral port and
-// exercises /metrics, /progress, and /debug/pprof/.
+// exercises /metrics (both formats), /debug/vars, /progress, /debug/slow,
+// and /debug/pprof/.
 func TestServerEndpoints(t *testing.T) {
 	prog := NewProgress()
 	prog.Emit(Event{Kind: EventNetStart, Net: "cpu-dsp", Worker: 2, TimeNS: Now()})
 
-	srv, err := NewServer("127.0.0.1:0", prog)
+	fr := NewFlightRecorder(1, 4, nil, nil)
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{Progress: prog, Recorder: fr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +24,7 @@ func TestServerEndpoints(t *testing.T) {
 	srv.Start()
 	base := "http://" + srv.Addr()
 
-	get := func(path string) (int, string) {
+	get := func(path string) (int, string, string) {
 		t.Helper()
 		resp, err := http.Get(base + path)
 		if err != nil {
@@ -30,28 +32,61 @@ func TestServerEndpoints(t *testing.T) {
 		}
 		defer resp.Body.Close()
 		b, _ := io.ReadAll(resp.Body)
-		return resp.StatusCode, string(b)
+		return resp.StatusCode, string(b), resp.Header.Get("Content-Type")
 	}
 
-	// /metrics is expvar JSON; the process-wide registry appears once
-	// Default() has been touched (any earlier test or this call).
+	// /metrics defaults to the Prometheus text exposition.
 	Default()
-	code, body := get("/metrics")
+	code, body, ctype := get("/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("/metrics status %d", code)
 	}
-	var metrics map[string]json.RawMessage
-	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
-		t.Fatalf("/metrics is not JSON: %v", err)
+	if ctype != PrometheusContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ctype, PrometheusContentType)
 	}
-	if _, ok := metrics["clockroute"]; !ok {
-		t.Errorf("/metrics missing the clockroute registry: has %d keys", len(metrics))
-	}
-	if _, ok := metrics["memstats"]; !ok {
-		t.Error("/metrics missing stdlib memstats (expvar composition broken)")
+	if !strings.Contains(body, "clockroute_searches_total") || !strings.Contains(body, "clockroute_goroutines") {
+		t.Errorf("/metrics missing expected Prometheus series:\n%.500s", body)
 	}
 
-	code, body = get("/progress")
+	// ?format=json keeps the expvar JSON view available at the same path.
+	code, body, _ = get("/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/metrics?format=json is not JSON: %v", err)
+	}
+	if _, ok := vars["clockroute"]; !ok {
+		t.Errorf("/metrics?format=json missing the clockroute registry: has %d keys", len(vars))
+	}
+
+	// Accept: application/json negotiates the same.
+	req, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(b, &vars); err != nil {
+		t.Errorf("/metrics with Accept: application/json is not JSON: %v", err)
+	}
+
+	// /debug/vars keeps the classic expvar mount.
+	code, body, _ = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing stdlib memstats (expvar composition broken)")
+	}
+
+	code, body, _ = get("/progress")
 	if code != http.StatusOK {
 		t.Fatalf("/progress status %d", code)
 	}
@@ -63,28 +98,41 @@ func TestServerEndpoints(t *testing.T) {
 		t.Errorf("/progress = %+v", snap)
 	}
 
-	code, body = get("/debug/pprof/")
+	code, body, _ = get("/debug/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slow status %d", code)
+	}
+	var slow struct {
+		Trees []json.RawMessage `json:"trees"`
+	}
+	if err := json.Unmarshal([]byte(body), &slow); err != nil {
+		t.Fatalf("/debug/slow is not JSON: %v", err)
+	}
+
+	code, body, _ = get("/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ status %d", code)
 	}
-	if code, _ := get("/debug/pprof/symbol"); code != http.StatusOK {
+	if code, _, _ := get("/debug/pprof/symbol"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/symbol status %d", code)
 	}
 }
 
 func TestServerWithoutProgress(t *testing.T) {
-	srv, err := NewServer("127.0.0.1:0", nil)
+	srv, err := NewServer("127.0.0.1:0", ServerOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 	srv.Start()
-	resp, err := http.Get("http://" + srv.Addr() + "/progress")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("/progress without a tracker: status %d, want 404", resp.StatusCode)
+	for path, want := range map[string]int{"/progress": http.StatusNotFound, "/debug/slow": http.StatusNotFound} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s without a backing component: status %d, want %d", path, resp.StatusCode, want)
+		}
 	}
 }

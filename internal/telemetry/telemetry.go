@@ -41,6 +41,10 @@ const (
 	// EventNetEnd closes the net span: ElapsedNS, LatencyPS, the winning
 	// search's effort counters, and Err on failure.
 	EventNetEnd
+	// EventSlowRequest records a request that breached the flight
+	// recorder's SLO: Trace/Request identify it, ElapsedNS is its wall
+	// time, and Payload carries the full *SpanTree for post-mortems.
+	EventSlowRequest
 )
 
 var kindNames = [...]string{
@@ -50,6 +54,7 @@ var kindNames = [...]string{
 	EventNetQueued:   "net_queued",
 	EventNetStart:    "net_start",
 	EventNetEnd:      "net_end",
+	EventSlowRequest: "slow_request",
 }
 
 // String names the kind as it appears in the JSONL stream.
@@ -109,6 +114,14 @@ type Event struct {
 	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
 	// Err is the failure or abort cause, empty on success.
 	Err string `json:"err,omitempty"`
+	// Trace and Request are the W3C trace id and wire request id the event
+	// belongs to, stamped by WithTrace at the service boundary so one JSONL
+	// stream groups back into per-request traces.
+	Trace   string `json:"trace,omitempty"`
+	Request string `json:"request,omitempty"`
+	// Payload carries a kind-specific structured body (slow_request events
+	// attach their *SpanTree). Always nil on the search hot path.
+	Payload any `json:"payload,omitempty"`
 }
 
 // Sink receives trace events. Implementations must be safe for concurrent

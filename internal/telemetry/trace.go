@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceContext is a W3C Trace Context (traceparent) identity: a 16-byte
+// trace id shared by every span of one distributed request, the 8-byte id
+// of the caller's span, and the trace flags (bit 0 = sampled). The wire
+// form is the traceparent header,
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// (version 00, lowercase hex). The routing client mints one per call and
+// the service extracts or mints one per request, so every span a request
+// produces — HTTP phases, per-net batch spans, search and wave spans — is
+// joinable on one trace id across process boundaries.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// Valid reports whether both ids are non-zero, as the W3C spec requires —
+// an all-zero trace or span id invalidates the whole header.
+func (t TraceContext) Valid() bool {
+	return t.TraceID != [16]byte{} && t.SpanID != [8]byte{}
+}
+
+// TraceHex returns the 32-char lowercase hex trace id.
+func (t TraceContext) TraceHex() string { return hex.EncodeToString(t.TraceID[:]) }
+
+// SpanHex returns the 16-char lowercase hex span id.
+func (t TraceContext) SpanHex() string { return hex.EncodeToString(t.SpanID[:]) }
+
+// TraceParent renders the traceparent header value (version 00).
+func (t TraceContext) TraceParent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", t.TraceHex(), t.SpanHex(), t.Flags)
+}
+
+// Child returns a context in the same trace with a freshly minted span id
+// — the identity a new span should propagate to its own callees.
+func (t TraceContext) Child() TraceContext {
+	c := t
+	c.SpanID = mintSpanID()
+	return c
+}
+
+// ParseTraceParent parses a traceparent header value. It accepts version
+// 00 exactly (the only published version) and rejects malformed,
+// wrong-length, uppercase, or all-zero-id values — a service must mint a
+// fresh context rather than propagate garbage.
+func ParseTraceParent(s string) (TraceContext, error) {
+	var t TraceContext
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return t, fmt.Errorf("telemetry: malformed traceparent %q", s)
+	}
+	for i := 3; i < 55; i++ {
+		if s[i] >= 'A' && s[i] <= 'F' { // spec requires lowercase hex
+			return t, fmt.Errorf("telemetry: traceparent must be lowercase hex %q", s)
+		}
+	}
+	if _, err := hex.Decode(t.TraceID[:], []byte(s[3:35])); err != nil {
+		return t, fmt.Errorf("telemetry: traceparent trace-id: %w", err)
+	}
+	if _, err := hex.Decode(t.SpanID[:], []byte(s[36:52])); err != nil {
+		return t, fmt.Errorf("telemetry: traceparent parent-id: %w", err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return t, fmt.Errorf("telemetry: traceparent flags: %w", err)
+	}
+	t.Flags = flags[0]
+	if !t.Valid() {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent with zero id %q", s)
+	}
+	return t, nil
+}
+
+// idCounter breaks ties when the random source is exhausted or stubbed;
+// mixing a process-local counter into every minted id keeps ids unique
+// within the process even under a failing crypto/rand.
+var idCounter atomic.Uint64
+
+// NewTraceContext mints a fresh sampled trace identity from crypto/rand.
+func NewTraceContext() TraceContext {
+	var t TraceContext
+	if _, err := rand.Read(t.TraceID[:]); err != nil || t.TraceID == [16]byte{} {
+		binary.BigEndian.PutUint64(t.TraceID[8:], idCounter.Add(1))
+		t.TraceID[0] = 1
+	}
+	t.SpanID = mintSpanID()
+	t.Flags = 0x01
+	return t
+}
+
+func mintSpanID() [8]byte {
+	var id [8]byte
+	if _, err := rand.Read(id[:]); err != nil || id == [8]byte{} {
+		binary.BigEndian.PutUint64(id[:], idCounter.Add(1)|1<<63)
+	}
+	return id
+}
+
+// Context plumbing. The trace identity and the request id ride the
+// context from the transport boundary (client call site, server
+// middleware) down to whatever emits spans, so no routing signature needs
+// a tracing parameter.
+type traceCtxKey struct{}
+type requestIDCtxKey struct{}
+type recorderCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying tc.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace identity, reporting whether one is
+// present and valid.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// ContextWithRequestID returns ctx carrying the wire request id
+// (X-Request-Id).
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDCtxKey{}, id)
+}
+
+// RequestIDFromContext extracts the request id, "" when absent.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDCtxKey{}).(string)
+	return id
+}
+
+// ContextWithRecorder returns ctx carrying a per-request span Recorder.
+func ContextWithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderCtxKey{}, r)
+}
+
+// RecorderFromContext extracts the request's Recorder; nil when absent.
+// Every Recorder method is nil-safe, so callers may use the result
+// unconditionally.
+func RecorderFromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderCtxKey{}).(*Recorder)
+	return r
+}
+
+// traceSink stamps the trace and request ids onto every event passing
+// through, the cross-request analog of WithFields: the server wraps its
+// process-wide sink once per request so the JSONL stream (and any other
+// ordered sink) can be grouped back into per-request traces.
+type traceSink struct {
+	next  Sink
+	trace string
+	req   string
+}
+
+func (t *traceSink) Emit(e Event) {
+	if e.Trace == "" {
+		e.Trace = t.trace
+	}
+	if e.Request == "" {
+		e.Request = t.req
+	}
+	t.next.Emit(e)
+}
+
+// WithTrace wraps next so every event carries the given trace and request
+// ids. A nil next returns nil, keeping the no-op fast path free.
+func WithTrace(next Sink, traceID, requestID string) Sink {
+	if next == nil {
+		return nil
+	}
+	return &traceSink{next: next, trace: traceID, req: requestID}
+}

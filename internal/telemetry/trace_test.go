@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceParentRoundTrip(t *testing.T) {
+	const header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceParent(header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.TraceParent(); got != header {
+		t.Errorf("round trip = %q, want %q", got, header)
+	}
+	if tc.TraceHex() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("TraceHex = %q", tc.TraceHex())
+	}
+	if tc.SpanHex() != "00f067aa0ba902b7" {
+		t.Errorf("SpanHex = %q", tc.SpanHex())
+	}
+	if tc.Flags != 0x01 {
+		t.Errorf("Flags = %#x", tc.Flags)
+	}
+	if !tc.Valid() {
+		t.Error("parsed context reported invalid")
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"short":          "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+		"long":           "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-xx",
+		"version":        "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"uppercase":      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"bad hex":        "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",
+		"zero trace id":  "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero parent id": "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"bad separators": "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01",
+	}
+	for name, header := range cases {
+		if _, err := ParseTraceParent(header); err == nil {
+			t.Errorf("%s: ParseTraceParent(%q) accepted", name, header)
+		}
+	}
+}
+
+func TestNewTraceContext(t *testing.T) {
+	a, b := NewTraceContext(), NewTraceContext()
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("minted contexts must be valid")
+	}
+	if a.TraceID == b.TraceID {
+		t.Error("two minted contexts share a trace id")
+	}
+	if a.Flags&0x01 == 0 {
+		t.Error("minted context not sampled")
+	}
+	child := a.Child()
+	if child.TraceID != a.TraceID {
+		t.Error("Child changed the trace id")
+	}
+	if child.SpanID == a.SpanID {
+		t.Error("Child kept the span id")
+	}
+	// Wire form is always version 00, lowercase, 55 chars.
+	h := a.TraceParent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || h != strings.ToLower(h) {
+		t.Errorf("TraceParent = %q", h)
+	}
+	if _, err := ParseTraceParent(h); err != nil {
+		t.Errorf("minted header does not re-parse: %v", err)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceFromContext(ctx); ok {
+		t.Error("empty context reported a trace")
+	}
+	if id := RequestIDFromContext(ctx); id != "" {
+		t.Errorf("empty context request id = %q", id)
+	}
+	if r := RecorderFromContext(ctx); r != nil {
+		t.Error("empty context carried a recorder")
+	}
+
+	tc := NewTraceContext()
+	rec := NewRecorder(tc, "req-1", "test")
+	ctx = ContextWithTrace(ctx, tc)
+	ctx = ContextWithRequestID(ctx, "req-1")
+	ctx = ContextWithRecorder(ctx, rec)
+
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Errorf("TraceFromContext = %+v, %v", got, ok)
+	}
+	if id := RequestIDFromContext(ctx); id != "req-1" {
+		t.Errorf("RequestIDFromContext = %q", id)
+	}
+	if RecorderFromContext(ctx) != rec {
+		t.Error("RecorderFromContext did not round-trip")
+	}
+
+	// An invalid trace context is reported absent.
+	ctx2 := ContextWithTrace(context.Background(), TraceContext{})
+	if _, ok := TraceFromContext(ctx2); ok {
+		t.Error("invalid trace context reported present")
+	}
+}
+
+func TestWithTrace(t *testing.T) {
+	if WithTrace(nil, "t", "r") != nil {
+		t.Fatal("WithTrace(nil) must stay nil — the disabled path contract")
+	}
+	ring := NewRing(8)
+	sink := WithTrace(ring, "trace-1", "req-1")
+	sink.Emit(Event{Kind: EventSearchStart})
+	sink.Emit(Event{Kind: EventSearchEnd, Trace: "already", Request: "set"})
+	events := ring.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Trace != "trace-1" || events[0].Request != "req-1" {
+		t.Errorf("unstamped event = %q/%q", events[0].Trace, events[0].Request)
+	}
+	// Pre-stamped identities win: a nested service's own ids pass through.
+	if events[1].Trace != "already" || events[1].Request != "set" {
+		t.Errorf("pre-stamped event overwritten: %q/%q", events[1].Trace, events[1].Request)
+	}
+}
