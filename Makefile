@@ -2,9 +2,9 @@
 # suite under the race detector (the parallel planner engine and the
 # telemetry sinks make -race load-bearing, not optional), and survive a
 # short fuzzing pass over every decoder that accepts untrusted bytes.
-.PHONY: tier1 build vet lint test race fuzz-smoke chaos bench bench-core bench-telemetry bench-cache obs-demo tables
+.PHONY: tier1 build vet lint test race shuffle sweep fuzz-smoke chaos bench bench-core bench-telemetry bench-cache bench-check obs-demo tables
 
-tier1: build lint race chaos fuzz-smoke
+tier1: build lint race shuffle chaos fuzz-smoke
 
 build:
 	go build ./...
@@ -26,6 +26,17 @@ test:
 race:
 	go test -race ./...
 
+# Test-order decoupling: one shuffled pass flushes hidden coupling between
+# tests (shared pools, package-level state) that a fixed order would mask.
+shuffle:
+	go test -shuffle=on -count=1 ./...
+
+# Full kernel-equivalence regression gate: >=500 seeded mixed-size
+# instances, every kernel, admissible bounds on vs off, byte-for-byte.
+# Tier-1 runs the reduced 60-instance stream; this is the deep sweep.
+sweep:
+	go test -tags slowtest -count=1 -run '^TestKernelEquivalenceSweepFull$$' ./internal/core
+
 # Short fuzzing pass over every untrusted-input decoder: the netlist
 # loader, the candidate store, and the two service request decoders.
 # Each fuzzer gets FUZZTIME on top of its checked-in seed corpus; any
@@ -39,6 +50,7 @@ fuzz-smoke:
 	go test -run xxx -fuzz '^FuzzDecodeRouteRequest$$' -fuzztime $(FUZZTIME) ./api
 	go test -run xxx -fuzz '^FuzzDecodePlanRequest$$' -fuzztime $(FUZZTIME) ./api
 	go test -run xxx -fuzz '^FuzzCanonicalHash$$' -fuzztime $(FUZZTIME) ./api
+	go test -run xxx -fuzz '^FuzzRouteDifferential$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # Fault-injection battery under the race detector: the faultpoint
 # registry's own tests, the chaos suite (panic containment, scratch
@@ -60,8 +72,11 @@ bench:
 # FastPath single-search benchmarks plus the parallel planner batch, with
 # allocation reporting, recorded as JSON so future PRs can compare their
 # allocs/op and ns/op against the checked-in numbers.
+# The single-search rows get 50 iterations (they are milliseconds each and
+# noisy at 10); the parallel batch stays at 10 to keep the target fast.
 bench-core:
-	go test -run xxx -bench 'BenchmarkRBP$$|BenchmarkFastPath$$|BenchmarkPlanner_ParallelVsSerial$$' -benchmem -benchtime 10x -json . > BENCH_core.json
+	go test -run xxx -bench 'BenchmarkRBP$$|BenchmarkFastPath$$' -benchmem -benchtime 50x -json . > BENCH_core.json
+	go test -run xxx -bench 'BenchmarkPlanner_ParallelVsSerial$$' -benchmem -benchtime 10x -json . >> BENCH_core.json
 	@grep -o '"Output":"[^"]*/op[^"]*' BENCH_core.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 
 # Price the observability layer: BenchmarkRBP at telemetry off/ring/metrics
@@ -77,6 +92,14 @@ bench-telemetry:
 bench-cache:
 	go test -run xxx -bench 'BenchmarkRouteColdMiss$$|BenchmarkRouteWarmHit$$|BenchmarkPlanHalfRepeated$$' -benchmem -benchtime 50x -json ./internal/server > BENCH_cache.json
 	@grep -o '"Output":"[^"]*/op[^"]*' BENCH_cache.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+
+# Perf-regression gate: rerun the headline RBP benchmark into a local
+# (gitignored) JSON stream and compare it against the checked-in
+# BENCH_core.json — >5% configs/op regression or any routed-result drift
+# (registers/op, latency_ps) fails the target.
+bench-check:
+	go test -run xxx -bench 'BenchmarkRBP$$' -benchtime 10x -json . > bench-check.json
+	go run ./cmd/benchcheck -baseline BENCH_core.json -current bench-check.json
 
 # End-to-end observability demo: route the SoC25mm batch with the live
 # /metrics + pprof server and a JSONL trace of every search and net span.

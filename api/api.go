@@ -158,13 +158,17 @@ type PlanRequest struct {
 
 // SearchStats mirrors core.Stats on the wire.
 type SearchStats struct {
-	Configs   int   `json:"configs"`
-	Pushed    int   `json:"pushed"`
-	Pruned    int   `json:"pruned"`
-	Killed    int   `json:"killed,omitempty"`
-	Waves     int   `json:"waves"`
-	MaxQSize  int   `json:"max_q_size"`
-	ElapsedNS int64 `json:"elapsed_ns"`
+	Configs int `json:"configs"`
+	Pushed  int `json:"pushed"`
+	Pruned  int `json:"pruned"`
+	// BoundPruned counts candidates cut by the admissible search bounds;
+	// ProbeConfigs is the incumbent probe's extra effort (not in Configs).
+	BoundPruned  int   `json:"bound_pruned,omitempty"`
+	ProbeConfigs int   `json:"probe_configs,omitempty"`
+	Killed       int   `json:"killed,omitempty"`
+	Waves        int   `json:"waves"`
+	MaxQSize     int   `json:"max_q_size"`
+	ElapsedNS    int64 `json:"elapsed_ns"`
 }
 
 // RouteResponse is the 200 body of POST /v1/route. Path and Gates are
@@ -213,15 +217,17 @@ type NetResult struct {
 
 // PlanStats aggregates the batch, mirroring planner.PlanStats.
 type PlanStats struct {
-	Workers      int   `json:"workers"`
-	NetsRouted   int   `json:"nets_routed"`
-	NetsFailed   int   `json:"nets_failed"`
-	TotalConfigs int   `json:"total_configs"`
-	TotalPushed  int   `json:"total_pushed"`
-	TotalPruned  int   `json:"total_pruned"`
-	TotalWaves   int   `json:"total_waves"`
-	MaxQSize     int   `json:"max_q_size"`
-	ElapsedNS    int64 `json:"elapsed_ns"`
+	Workers           int   `json:"workers"`
+	NetsRouted        int   `json:"nets_routed"`
+	NetsFailed        int   `json:"nets_failed"`
+	TotalConfigs      int   `json:"total_configs"`
+	TotalPushed       int   `json:"total_pushed"`
+	TotalPruned       int   `json:"total_pruned"`
+	TotalBoundPruned  int   `json:"total_bound_pruned,omitempty"`
+	TotalProbeConfigs int   `json:"total_probe_configs,omitempty"`
+	TotalWaves        int   `json:"total_waves"`
+	MaxQSize          int   `json:"max_q_size"`
+	ElapsedNS         int64 `json:"elapsed_ns"`
 }
 
 // PlanResponse is the 200 body of POST /v1/plan. Nets keeps the request

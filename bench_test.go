@@ -321,19 +321,33 @@ func BenchmarkRBP(b *testing.B) {
 	ctx := context.Background()
 	run := func(b *testing.B, opts core.Options) {
 		b.ReportAllocs()
-		var configs int
+		var res *core.Result
 		for n := 0; n < b.N; n++ {
-			res, err := core.Route(ctx, prob, core.Request{
+			var err error
+			res, err = core.Route(ctx, prob, core.Request{
 				Kind: core.KindRBP, PeriodPS: 300, Options: opts,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
-			configs = res.Stats.Configs
 		}
-		b.ReportMetric(float64(configs), "configs/op")
+		b.ReportMetric(float64(res.Stats.Configs), "configs/op")
+		// Routed-result fingerprint: make bench-check compares these against
+		// the recorded baseline exactly — any drift fails the gate.
+		b.ReportMetric(float64(res.Registers), "registers/op")
+		b.ReportMetric(res.Latency, "latency_ps")
 	}
 	b.Run("telemetry=off", func(b *testing.B) {
+		run(b, core.Options{})
+	})
+	// Pruning isolation: the identical search with admissible bounds off vs
+	// on (the default), so BENCH_core.json records the configs/op and
+	// time/op win attributable to the bounds alone. Results are proven
+	// identical by the equivalence sweeps; only the effort may differ.
+	b.Run("bounds=off", func(b *testing.B) {
+		run(b, core.Options{DisableBounds: true})
+	})
+	b.Run("bounds=on", func(b *testing.B) {
 		run(b, core.Options{})
 	})
 	b.Run("telemetry=ring", func(b *testing.B) {
@@ -346,19 +360,21 @@ func BenchmarkRBP(b *testing.B) {
 	// per-request span Recorder, as the service's traced middleware wires it.
 	b.Run("telemetry=trace", func(b *testing.B) {
 		b.ReportAllocs()
-		var configs int
+		var res *core.Result
 		for n := 0; n < b.N; n++ {
 			rec := telemetry.NewRecorder(telemetry.NewTraceContext(), "bench", "bench")
-			res, err := core.Route(ctx, prob, core.Request{
+			var err error
+			res, err = core.Route(ctx, prob, core.Request{
 				Kind: core.KindRBP, PeriodPS: 300, Options: core.Options{Telemetry: rec},
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
 			rec.Finish(200, nil)
-			configs = res.Stats.Configs
 		}
-		b.ReportMetric(float64(configs), "configs/op")
+		b.ReportMetric(float64(res.Stats.Configs), "configs/op")
+		b.ReportMetric(float64(res.Registers), "registers/op")
+		b.ReportMetric(res.Latency, "latency_ps")
 	})
 }
 

@@ -134,6 +134,52 @@ func (a *Arena) Reset() {
 	a.cur, a.used = 0, 0
 }
 
+// frontier is one node's Pareto set in struct-of-arrays layout: the hot
+// dominance keys (c, d, and slack in tri mode) live in parallel float64
+// slices scanned linearly or binary-searched per insertion, while the
+// candidate pointers are touched only to mark kills or reconstruct paths.
+// Keeping the keys out of the 64-byte Candidate structs means an Insert
+// walks densely packed floats instead of chasing one pointer per compare.
+type frontier struct {
+	c, d  []float64
+	slack []float64 // maintained in tri mode only
+	cand  []*Candidate
+}
+
+// reset empties the frontier, keeping capacity.
+func (fr *frontier) reset() {
+	fr.c, fr.d = fr.c[:0], fr.d[:0]
+	fr.slack, fr.cand = fr.slack[:0], fr.cand[:0]
+}
+
+// replace splices c over entries [start, end) of the sorted 2-D frontier,
+// mirroring the splice across every parallel slice.
+func (fr *frontier) replace(start, end int, c *Candidate) {
+	n := len(fr.c)
+	if end == start {
+		fr.c = append(fr.c, 0)
+		copy(fr.c[start+1:], fr.c[start:n])
+		fr.c[start] = c.C
+		fr.d = append(fr.d, 0)
+		copy(fr.d[start+1:], fr.d[start:n])
+		fr.d[start] = c.D
+		fr.cand = append(fr.cand, nil)
+		copy(fr.cand[start+1:], fr.cand[start:n])
+		fr.cand[start] = c
+		return
+	}
+	m := n - (end - start) + 1
+	fr.c[start] = c.C
+	copy(fr.c[start+1:], fr.c[end:n])
+	fr.c = fr.c[:m]
+	fr.d[start] = c.D
+	copy(fr.d[start+1:], fr.d[end:n])
+	fr.d = fr.d[:m]
+	fr.cand[start] = c
+	copy(fr.cand[start+1:], fr.cand[end:n])
+	fr.cand = fr.cand[:m]
+}
+
 // Store keeps, for every grid node, the Pareto frontier of live candidates
 // seen in the current pruning epoch. An entry (c1,d1) is inferior to
 // (c2,d2) when c1 >= c2 and d1 >= d2; inferior candidates are pruned.
@@ -142,7 +188,7 @@ func (a *Arena) Reset() {
 // wavefront latency (Section III), so the store supports O(1) epoch resets:
 // NextEpoch invalidates all frontiers lazily via a per-node stamp.
 type Store struct {
-	lists [][]*Candidate
+	nodes []frontier
 	stamp []int32
 	cur   int32
 
@@ -160,7 +206,7 @@ type Store struct {
 // NewStore returns a store covering nodes [0, n).
 func NewStore(n int) *Store {
 	return &Store{
-		lists: make([][]*Candidate, n),
+		nodes: make([]frontier, n),
 		stamp: make([]int32, n),
 		cur:   1,
 	}
@@ -187,7 +233,7 @@ func (s *Store) NextEpoch() { s.cur++ }
 // thousands of searches of a batch.
 func (s *Store) Reuse(n int, tri bool) {
 	if len(s.stamp) < n {
-		s.lists = append(s.lists, make([][]*Candidate, n-len(s.lists))...)
+		s.nodes = append(s.nodes, make([]frontier, n-len(s.nodes))...)
 		s.stamp = append(s.stamp, make([]int32, n-len(s.stamp))...)
 	}
 	s.tri = tri
@@ -201,13 +247,14 @@ func (s *Store) Reuse(n int, tri bool) {
 	s.inserted, s.rejected, s.killed = 0, 0, 0
 }
 
-// list returns the current-epoch frontier for node v, resetting it lazily.
-func (s *Store) list(v int32) []*Candidate {
+// node returns the current-epoch frontier for node v, resetting it lazily.
+func (s *Store) node(v int32) *frontier {
+	fr := &s.nodes[v]
 	if s.stamp[v] != s.cur {
 		s.stamp[v] = s.cur
-		s.lists[v] = s.lists[v][:0]
+		fr.reset()
 	}
-	return s.lists[v]
+	return fr
 }
 
 // Insert attempts to add c to its node's frontier. It returns false (and
@@ -218,22 +265,23 @@ func (s *Store) Insert(c *Candidate) bool {
 	if s.tri {
 		return s.insertTri(c)
 	}
-	l := s.list(c.Node)
+	fr := s.node(c.Node)
+	cs, ds := fr.c, fr.d
 
 	// Upper bound: first index with C strictly greater than c.C. The
 	// frontier is sorted by C ascending with D strictly descending, so the
 	// predecessor (if any) has C <= c.C and the smallest D among those.
-	lo, hi := 0, len(l)
+	lo, hi := 0, len(cs)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if l[mid].C <= c.C {
+		if cs[mid] <= c.C {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	pos := lo
-	if pos > 0 && l[pos-1].D <= c.D {
+	if pos > 0 && ds[pos-1] <= c.D {
 		s.rejected++
 		return false // dominated: smaller-or-equal cap, smaller-or-equal delay
 	}
@@ -241,59 +289,53 @@ func (s *Store) Insert(c *Candidate) bool {
 	// Kill equal-capacitance predecessors: they have C == c.C and (since we
 	// were not rejected) D > c.D, so c dominates them.
 	start := pos
-	for start > 0 && l[start-1].C == c.C {
-		l[start-1].Dead = true
+	for start > 0 && cs[start-1] == c.C {
+		fr.cand[start-1].Dead = true
 		s.killed++
 		start--
 	}
 
 	// Kill successors dominated by c: they have C >= c.C; dominated iff
-	// D >= c.D. D is descending, so they form a prefix of l[pos:].
+	// D >= c.D. D is descending, so they form a prefix of the suffix at pos.
 	end := pos
-	for end < len(l) && l[end].D >= c.D {
-		l[end].Dead = true
+	for end < len(ds) && ds[end] >= c.D {
+		fr.cand[end].Dead = true
 		s.killed++
 		end++
 	}
 
-	// Replace l[start:end] with c.
-	n := len(l)
-	if end == start {
-		l = append(l, nil)
-		copy(l[start+1:], l[start:n])
-		l[start] = c
-	} else {
-		l[start] = c
-		copy(l[start+1:], l[end:n])
-		l = l[:n-(end-start)+1]
-	}
-	s.lists[c.Node] = l
+	fr.replace(start, end, c)
 	s.inserted++
 	return true
 }
 
-// insertTri is the three-key variant of Insert: the list is kept unsorted
-// and scanned linearly (frontiers stay small in practice). Dominance:
-// existing (c,d,slack) kills newcomer (c',d',slack') iff c <= c', d <= d'
-// and slack >= slack'.
+// insertTri is the three-key variant of Insert: the frontier is kept
+// unsorted and scanned linearly (frontiers stay small in practice).
+// Dominance: existing (c,d,slack) kills newcomer (c',d',slack') iff
+// c <= c', d <= d' and slack >= slack'.
 func (s *Store) insertTri(c *Candidate) bool {
-	l := s.list(c.Node)
-	for _, o := range l {
-		if o.C <= c.C && o.D <= c.D && o.Slack >= c.Slack {
+	fr := s.node(c.Node)
+	for i := range fr.c {
+		if fr.c[i] <= c.C && fr.d[i] <= c.D && fr.slack[i] >= c.Slack {
 			s.rejected++
 			return false
 		}
 	}
-	out := l[:0]
-	for _, o := range l {
-		if c.C <= o.C && c.D <= o.D && c.Slack >= o.Slack {
-			o.Dead = true
+	out := 0
+	for i := range fr.c {
+		if c.C <= fr.c[i] && c.D <= fr.d[i] && c.Slack >= fr.slack[i] {
+			fr.cand[i].Dead = true
 			s.killed++
 			continue
 		}
-		out = append(out, o)
+		fr.c[out], fr.d[out] = fr.c[i], fr.d[i]
+		fr.slack[out], fr.cand[out] = fr.slack[i], fr.cand[i]
+		out++
 	}
-	s.lists[c.Node] = append(out, c)
+	fr.c = append(fr.c[:out], c.C)
+	fr.d = append(fr.d[:out], c.D)
+	fr.slack = append(fr.slack[:out], c.Slack)
+	fr.cand = append(fr.cand[:out], c)
 	s.inserted++
 	return true
 }
@@ -307,7 +349,7 @@ func (s *Store) insertTri(c *Candidate) bool {
 // epoch-bump time. Reading a frontier therefore commits the reset for that
 // node; candidates from earlier epochs are never returned.
 func (s *Store) Frontier(v int32) []*Candidate {
-	return append([]*Candidate(nil), s.list(v)...)
+	return append([]*Candidate(nil), s.node(v).cand...)
 }
 
 // ForEachLive calls fn for every candidate on v's current-epoch frontier in
@@ -317,7 +359,7 @@ func (s *Store) Frontier(v int32) []*Candidate {
 // fn must not mutate the store. The lazy epoch-reset side effect of
 // Frontier applies here too.
 func (s *Store) ForEachLive(v int32, fn func(*Candidate)) {
-	for _, c := range s.list(v) {
+	for _, c := range s.node(v).cand {
 		fn(c)
 	}
 }

@@ -45,6 +45,15 @@ func TestSearchAllocBudgets(t *testing.T) {
 			return err
 		},
 		"gals": func() error { _, err := GALS(p, 300, 450, Options{}); return err },
+		// The bounds-disabled baselines pin that the admissible-bound
+		// precompute (BFS fields, probe, remainder table) stays inside the
+		// same budget as the raw search — its memory must come from the
+		// pooled Scratch, not per-search allocation.
+		"fastpath-nobounds": func() error { _, err := FastPath(p, Options{DisableBounds: true}); return err },
+		"rbp-nobounds": func() error {
+			_, err := RBP(p, 300, Options{DisableBounds: true})
+			return err
+		},
 		// The unified entry point with telemetry disabled (nil sink) must
 		// cost the same as calling the algorithm directly: the tracing
 		// layer's zero-cost-when-off contract.
@@ -67,6 +76,31 @@ func TestSearchAllocBudgets(t *testing.T) {
 				t.Errorf("%s allocates %.0f/op, budget %.0f: arena/scratch reuse regressed", name, allocs, budget)
 			}
 		})
+	}
+}
+
+// TestBoundsPrecomputeAllocBudget pins the steady-state cost of the
+// admissible-bound machinery itself: once a pooled Scratch has sized its
+// BFS distance fields, probe state, and remainder-table slabs on a grid,
+// re-preparing bounds for the same problem shape must allocate nothing.
+func TestBoundsPrecomputeAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime randomizes sync.Pool retention; alloc budgets are asserted without -race")
+	}
+	p := allocProblem(t)
+	sc := new(Scratch)
+	warm := func() {
+		bd := sc.PrepBounds(p)
+		if bd == nil {
+			t.Fatal("PrepBounds returned nil on a reachable problem")
+		}
+		if u, ok := bd.pathMinDelay(p); ok {
+			bd.remTable(p.Model, u)
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
+		t.Errorf("bounds precompute allocates %.0f/op steady-state, want 0: BFS/probe slabs must come from Scratch", allocs)
 	}
 }
 
@@ -123,9 +157,9 @@ func TestScratchPoolReuseIdentical(t *testing.T) {
 		case req.Kind == KindRBP && req.ArrayQueues:
 			res, err = rbpArrayQueues(p, req.PeriodPS, req.Options, new(Scratch))
 		case req.Kind == KindRBP:
-			res, err = rbp(p, req.PeriodPS, req.Options, new(Scratch))
+			res, err = rbp(p, req.PeriodPS, req.Options, new(Scratch), nil)
 		default:
-			res, err = gals(p, req.SrcPeriodPS, req.DstPeriodPS, req.Options, new(Scratch))
+			res, err = gals(p, req.SrcPeriodPS, req.DstPeriodPS, req.Options, new(Scratch), nil)
 		}
 		if err != nil {
 			t.Fatalf("%s fresh: %v", name, err)

@@ -3,6 +3,12 @@ package core
 // Brute-force reference solvers used only in tests: they enumerate every
 // simple path of the grid and, per path, run an exact dynamic program over
 // all labelings. They are exponential and live behind small fixed grids.
+//
+// The per-path DPs (brutePathMin*) also accept non-simple walks — the
+// fuzzer feeds them the kernels' returned node sequences, which may
+// legally revisit nodes. Insertion eligibility therefore goes by node
+// identity, not index: the kernels fix m(s) and m(t) to the port
+// registers and never insert at the endpoint cells, even on a revisit.
 
 import (
 	"math"
@@ -33,6 +39,14 @@ func enumeratePaths(g *grid.Grid, s, t int, fn func(path []int)) {
 		visited[u] = false
 	}
 	dfs(s)
+}
+
+// interiorNode reports whether path[i] is eligible for gate insertion:
+// any position whose node is neither the source nor the sink cell. On a
+// walk this excludes revisits of the endpoint cells, matching the
+// kernels' identity-based endpoint exclusion.
+func interiorNode(path []int, i int) bool {
+	return path[i] != path[0] && path[i] != path[len(path)-1]
 }
 
 type bruteState struct {
@@ -70,7 +84,7 @@ func brutePathMinDelay(g *grid.Grid, m *elmore.Model, path []int) float64 {
 			c2, d2 := m.AddEdge(st.c, st.d)
 			next = prunedAdd(next, bruteState{c: c2, d: d2})
 		}
-		if i != 0 && g.Insertable(path[i]) {
+		if interiorNode(path, i) && g.Insertable(path[i]) {
 			for _, st := range next {
 				for _, b := range tc.Buffers {
 					c2, d2 := m.AddGate(b, st.c, st.d)
@@ -115,7 +129,7 @@ func brutePathMinRegs(g *grid.Grid, m *elmore.Model, path []int, T float64) int 
 				next = prunedAdd(next, bruteState{regs: st.regs, c: c2, d: d2})
 			}
 		}
-		if i != 0 && g.Insertable(path[i]) {
+		if interiorNode(path, i) && g.Insertable(path[i]) {
 			base := append([]bruteState(nil), next...)
 			for _, st := range base {
 				for _, b := range tc.Buffers {
@@ -211,7 +225,7 @@ func brutePathMinGALS(g *grid.Grid, m *elmore.Model, path []int, Ts, Tt float64)
 				next = galsAdd(next, galsState{z: st.z, regS: st.regS, regT: st.regT, c: c2, d: d2})
 			}
 		}
-		if i != 0 && g.Insertable(path[i]) {
+		if interiorNode(path, i) && g.Insertable(path[i]) {
 			base := append([]galsState(nil), next...)
 			for _, st := range base {
 				for _, b := range tc.Buffers {

@@ -166,6 +166,13 @@ type Options struct {
 	// searches. A nil sink costs nothing — the uninstrumented path performs
 	// no allocation.
 	Telemetry telemetry.Sink
+	// DisableBounds turns off the A*-style admissible bound layer
+	// (bounds.go): no BFS distance fields, no incumbent probe, no
+	// bound-based pruning. The search then runs the plain exact expansion.
+	// Results are identical either way — that equivalence is what the
+	// differential harness proves — so this switch exists for ablation
+	// benchmarks and as the reference arm of those proofs.
+	DisableBounds bool
 	// MaxConfigs aborts the search with ErrAborted after this many popped
 	// candidates (0 = unlimited). A safety valve for ablations.
 	MaxConfigs int
@@ -220,6 +227,14 @@ type Stats struct {
 	Waves    int           // wavefronts processed
 	MaxQSize int           // peak combined queue size ("MaxQSize" in Table I)
 	Elapsed  time.Duration // wall time
+	// BoundPruned counts candidates cut by the admissible lower-bound layer
+	// (bounds.go) before reaching a store or heap — the observable effect of
+	// A* pruning. Window-probe rejections count here too.
+	BoundPruned int
+	// ProbeConfigs is the effort the incumbent probe spent before the main
+	// search (windowed-kernel pops; the path DP counts as zero). Not
+	// included in Configs, which keeps its exact Table-I meaning.
+	ProbeConfigs int
 }
 
 // Result is the outcome of a search.

@@ -22,6 +22,15 @@ func FastPath(p *Problem, opts Options) (res *Result, err error) {
 
 // fastPath runs the search on borrowed scratch memory; everything the
 // result carries is copied out before the caller releases sc.
+//
+// Completed solutions are tracked as an incumbent (best source close seen
+// so far) instead of the older re-queued "Final" marker candidates: the
+// search ends when the heap's minimum delay can no longer strictly beat
+// the incumbent — every completion from a queued candidate adds a strictly
+// positive close on top of its key. Value-identical Final markers from
+// different parents bypassed the Pareto store and made pop order
+// shape-dependent; the incumbent keeps pop order a pure function of live
+// store-guarded candidates, which the A*-equivalence argument requires.
 func fastPath(p *Problem, opts Options, sc *Scratch) (*Result, error) {
 	start := time.Now()
 	g, m := p.Grid, p.Model
@@ -29,12 +38,36 @@ func fastPath(p *Problem, opts Options, sc *Scratch) (*Result, error) {
 	reg := tc.Register
 
 	q := &sc.Q
+	q.Tie = candidateTieLess // content-determined pop order; see bounds.go
 	store := sc.PrepStore(0, g.NumNodes(), false)
 	res := &Result{}
 
+	// Admissible pruning: h(v) = rem[dist(v, source)] — the ideal-line
+	// remaining-delay table — never exceeds the true remaining cost, and the
+	// shortest-path DP incumbent is achieved by a labeling the kernel
+	// reaches with identical float ops, so pruning d + h(v) > U + eps can
+	// never cut a candidate that ties or beats the incumbent solution.
+	var bd *Bounds
+	var rem []float64
+	threshold := math.Inf(1)
+	if !opts.DisableBounds {
+		bd = sc.PrepBounds(p)
+		if u, ok := bd.pathMinDelay(p); ok {
+			threshold = u + boundEps(u)
+			rem = bd.remTable(m, threshold)
+		}
+	}
+
 	push := func(c *candidate.Candidate, key float64) {
 		faultpoint.Must("core.wave_push")
-		if !opts.DisablePruning && !c.Final {
+		if bd != nil {
+			dist := bd.DistToSource(c.Node)
+			if dist < 0 || (rem != nil && c.D+rem[dist] > threshold) {
+				res.Stats.BoundPruned++
+				return
+			}
+		}
+		if !opts.DisablePruning {
 			if !store.Insert(c) {
 				res.Stats.Pruned++
 				return
@@ -54,7 +87,14 @@ func fastPath(p *Problem, opts Options, sc *Scratch) (*Result, error) {
 	}
 	res.Stats.Waves = 1
 
+	var best *candidate.Candidate
+	bestD := math.Inf(1)
 	for q.Len() > 0 {
+		if key, _, _ := q.Peek(); best != nil && key >= bestD {
+			// Every completion from anything still queued costs its key plus
+			// a strictly positive close — nothing can beat the incumbent.
+			break
+		}
 		_, cur, _ := q.Pop()
 		if cur.Dead {
 			continue
@@ -69,24 +109,9 @@ func fastPath(p *Problem, opts Options, sc *Scratch) (*Result, error) {
 
 		u := int(cur.Node)
 		if u == p.Source {
-			if cur.Final {
-				// Minimum-delay solution: everything still queued has
-				// delay >= cur's completed delay.
-				res.Latency = cur.D
-				res.SourceDelay = cur.D
-				res.Stats.Elapsed = time.Since(start)
-				p.finish(cur.Parent, res)
-				return res, nil
+			if d2 := m.DriveInto(reg, cur.C, cur.D); d2 < bestD {
+				bestD, best = d2, cur
 			}
-			d2 := m.DriveInto(reg, cur.C, cur.D)
-			fin := sc.Arena.New(candidate.Candidate{
-				C: 0, D: d2, Node: cur.Node,
-				Gate: candidate.GateNone, Final: true, Parent: cur,
-			})
-			push(fin, d2)
-		}
-		if cur.Final {
-			continue
 		}
 
 		// Step 6: extend across each live edge.
@@ -112,5 +137,12 @@ func fastPath(p *Problem, opts Options, sc *Scratch) (*Result, error) {
 			}
 		}
 	}
-	return nil, ErrNoPath
+	if best == nil {
+		return nil, ErrNoPath
+	}
+	res.Latency = bestD
+	res.SourceDelay = bestD
+	res.Stats.Elapsed = time.Since(start)
+	p.finish(best, res)
+	return res, nil
 }

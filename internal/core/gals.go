@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"clockroute/internal/candidate"
@@ -27,14 +29,58 @@ const latencyEps = 1e-6
 func GALS(p *Problem, Ts, Tt float64, opts Options) (res *Result, err error) {
 	sc := GetScratch()
 	defer containSearchPanic(sc, &res, &err)
-	return gals(p, Ts, Tt, opts, sc)
+	return gals(p, Ts, Tt, opts, sc, nil)
 }
 
-func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch) (*Result, error) {
+// galsBounds prepares the admissible-bound state for GALS: BFS distance
+// fields, per-domain segment reaches (source-side segments may start from
+// the FIFO; sink-side segments may close into it), and a latency incumbent
+// from a windowed probe run. GALS has no single-path incumbent DP — FIFO
+// placement couples the two domains along the path — so the corridor probe
+// is its primary incumbent source. Probe budget exhaustion just means no
+// incumbent; only a caller-requested abort propagates.
+func galsBounds(p *Problem, Ts, Tt float64, opts Options, sc *Scratch) (bd *Bounds, reachS, reachT int, maxLat float64, probeConfigs int, err error) {
+	bd = sc.PrepBounds(p)
+	tc := p.tech()
+	fifo := tc.FIFO
+	minR := tc.MinBufferR()
+	reachS = bd.segmentReach(p.Model, Ts, int(bd.maxSrc), &fifo, tc.Register.K, minR)
+	reachT = bd.segmentReach(p.Model, Tt, int(bd.maxSrc), nil,
+		math.Min(tc.Register.K, fifo.K), math.Min(minR, fifo.R))
+	maxLat = math.Inf(1)
+	if dist0 := bd.distSrc[p.Sink]; dist0 >= 0 {
+		pres, perr := gals(p, Ts, Tt, probeOptions(opts, dist0), sc, bd.window(p))
+		sc.resetSearchState()
+		switch {
+		case perr == nil:
+			maxLat = pres.Latency + latencyEps
+			probeConfigs = pres.Stats.Configs
+		case errors.Is(perr, ErrAborted) && outerAbortPending(opts):
+			return nil, 0, 0, 0, 0, perr
+		}
+	}
+	return bd, reachS, reachT, maxLat, probeConfigs, nil
+}
+
+func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch, win *window) (*Result, error) {
 	if Ts <= 0 || Tt <= 0 {
 		return nil, fmt.Errorf("core: non-positive clock period (Ts=%g, Tt=%g)", Ts, Tt)
 	}
 	start := time.Now()
+	// Content-determined pop order among equal keys; see bounds.go.
+	sc.Q.Tie, sc.QStar.Tie = candidateTieLess, candidateTieLess
+
+	var bd *Bounds
+	reachS, reachT, probeConfigs := 0, 0, 0
+	maxLat := math.Inf(1)
+	if win == nil && !opts.DisableBounds {
+		var err error
+		bd, reachS, reachT, maxLat, probeConfigs, err = galsBounds(p, Ts, Tt, opts, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	g, m := p.Grid, p.Model
 	tc := p.tech()
 	reg, fifo := tc.Register, tc.FIFO
@@ -64,8 +110,20 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch) (*Result, error
 	fifoDone := sc.prepFlags(2, numNodes) // F(v)
 
 	res := &Result{}
+	res.Stats.ProbeConfigs = probeConfigs
+	// Bound pruning happens at pushQ only — after Q*'s equal-latency
+	// wavefront extraction, never before it — so pruning cannot regroup the
+	// eps-bucketed wavefronts and perturb cross-wave dominance epochs.
 	pushQ := func(c *candidate.Candidate) {
 		faultpoint.Must("core.wave_push")
+		if win != nil && !win.allows(c.Node) {
+			res.Stats.BoundPruned++
+			return
+		}
+		if bd != nil && bd.pruneGALS(c.Node, c.Z, c.L, Ts, Tt, reachS, reachT, maxLat) {
+			res.Stats.BoundPruned++
+			return
+		}
 		if !opts.DisablePruning {
 			if !stores[c.Z].Insert(c) {
 				res.Stats.Pruned++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,6 +30,14 @@ type rbpEngine struct {
 	curWave  int // wave currently being drained
 	// emit enqueues a candidate in the given wave with the given heap key.
 	emit func(wave int, c *candidate.Candidate, key float64)
+
+	// Admissible-bound state (bounds.go). win non-nil = this run is a
+	// corridor-restricted incumbent probe; bd non-nil = the main run prunes
+	// candidates whose wave plus register lower bound exceeds maxWave.
+	win     *window
+	bd      *Bounds
+	reach   int
+	maxWave int
 }
 
 func newRBPEngine(p *Problem, T float64, opts Options, res *Result, sc *Scratch) *rbpEngine {
@@ -61,6 +70,14 @@ type arrival struct {
 // forwards to emit.
 func (e *rbpEngine) tryEmit(wave int, c *candidate.Candidate, key float64, st *candidate.Store) {
 	faultpoint.Must("core.wave_push")
+	if e.win != nil && !e.win.allows(c.Node) {
+		e.res.Stats.BoundPruned++
+		return
+	}
+	if e.bd != nil && e.bd.pruneRBP(wave, c.Node, e.reach, e.maxWave) {
+		e.res.Stats.BoundPruned++
+		return
+	}
 	if st != nil && !e.opts.DisablePruning {
 		if !st.Insert(c) {
 			e.res.Stats.Pruned++
@@ -196,16 +213,56 @@ func (e *rbpEngine) close(a *arrival, wave int, start time.Time) *Result {
 func RBP(p *Problem, T float64, opts Options) (res *Result, err error) {
 	sc := GetScratch()
 	defer containSearchPanic(sc, &res, &err)
-	return rbp(p, T, opts, sc)
+	return rbp(p, T, opts, sc, nil)
 }
 
-func rbp(p *Problem, T float64, opts Options, sc *Scratch) (*Result, error) {
+// rbpBounds prepares the admissible-bound state for an RBP-family search:
+// BFS distance fields, the per-period segment reach, and a register-count
+// incumbent — from the shortest-path DP when it finds a feasible labeling,
+// else from a windowed probe run of the kernel itself (whose scratch
+// mutations are rewound before the exact search starts). A probe that runs
+// out of its private budget just means no incumbent; only an abort the
+// caller itself requested propagates as err.
+func rbpBounds(p *Problem, T float64, opts Options, sc *Scratch) (bd *Bounds, reach, maxWave, probeConfigs int, err error) {
+	bd = sc.PrepBounds(p)
+	tc := p.tech()
+	reach = bd.segmentReach(p.Model, T, int(bd.maxSrc), nil, tc.Register.K, tc.MinBufferR())
+	maxWave = noIncumbent
+	if u, ok := bd.pathMinRegs(p, T); ok {
+		maxWave = u
+	} else if dist0 := bd.distSrc[p.Sink]; dist0 >= 0 {
+		pres, perr := rbp(p, T, probeOptions(opts, dist0), sc, bd.window(p))
+		sc.resetSearchState()
+		switch {
+		case perr == nil:
+			maxWave = pres.Registers
+			probeConfigs = pres.Stats.Configs
+		case errors.Is(perr, ErrAborted) && outerAbortPending(opts):
+			return nil, 0, 0, 0, perr
+		}
+	}
+	return bd, reach, maxWave, probeConfigs, nil
+}
+
+func rbp(p *Problem, T float64, opts Options, sc *Scratch, win *window) (*Result, error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("core: non-positive clock period %g", T)
 	}
 	start := time.Now()
+	sc.Q.Tie = candidateTieLess // content-determined pop order; see bounds.go
 	res := &Result{}
+	var bd *Bounds
+	reach, maxWave, probeConfigs := 0, 0, 0
+	if win == nil && !opts.DisableBounds {
+		var err error
+		bd, reach, maxWave, probeConfigs, err = rbpBounds(p, T, opts, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
 	e := newRBPEngine(p, T, opts, res, sc)
+	e.win, e.bd, e.reach, e.maxWave = win, bd, reach, maxWave
+	res.Stats.ProbeConfigs = probeConfigs
 
 	q := &sc.Q       // current wave, keyed by delay
 	qstar := &sc.Buf // next wave; all entries share key Setup(r)
@@ -231,6 +288,16 @@ func rbp(p *Problem, T float64, opts Options, sc *Scratch) (*Result, error) {
 		if q.Len() == 0 {
 			if best != nil {
 				break // the minimum-latency wave is fully explored
+			}
+			// Infeasibility cutoff. A feasible minimum-register solution
+			// needs at most NumNodes waves (the single-shot A(v) marking
+			// gives each wave a distinct register node, and max-slack mode
+			// agrees with plain mode on feasibility and minimum wave). In
+			// max-slack mode, however, the per-wave store epochs re-admit
+			// identical register seeds every wave, so an infeasible cyclic
+			// instance would otherwise reproduce wave N as wave N+1 forever.
+			if e.curWave >= p.Grid.NumNodes() {
+				break
 			}
 			// Step 2: Q = Q*, Q* = ∅; new wave, new pruning epoch.
 			for _, c := range *qstar {
@@ -286,7 +353,18 @@ func rbpArrayQueues(p *Problem, T float64, opts Options, sc *Scratch) (*Result, 
 	}
 	start := time.Now()
 	res := &Result{}
+	var bd *Bounds
+	reach, maxWave, probeConfigs := 0, 0, 0
+	if !opts.DisableBounds {
+		var err error
+		bd, reach, maxWave, probeConfigs, err = rbpBounds(p, T, opts, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
 	e := newRBPEngine(p, T, opts, res, sc)
+	e.bd, e.reach, e.maxWave = bd, reach, maxWave
+	res.Stats.ProbeConfigs = probeConfigs
 
 	// MaxQSize is the number of candidates across all wave heaps; a running
 	// push/pop balance tracks it in O(1) instead of summing every heap's
@@ -307,7 +385,11 @@ func rbpArrayQueues(p *Problem, T float64, opts Options, sc *Scratch) (*Result, 
 	e.tryEmit(0, init, init.D, e.store)
 
 	var best *arrival
-	for cur := 0; cur < nWaves; cur++ {
+	// The nWaves bound is capped at NumNodes+1 for the same reason the
+	// two-queue loop stops swapping there: in max-slack mode an infeasible
+	// cyclic instance re-seeds identical register candidates every wave,
+	// and no feasible solution needs more waves than nodes.
+	for cur := 0; cur < nWaves && cur <= p.Grid.NumNodes(); cur++ {
 		q := sc.Wave(cur)
 		if q.Len() == 0 {
 			continue

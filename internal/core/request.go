@@ -112,6 +112,8 @@ func Route(ctx context.Context, p *Problem, req Request) (*Result, error) {
 		end.Configs = res.Stats.Configs
 		end.Pushed = res.Stats.Pushed
 		end.Pruned = res.Stats.Pruned
+		end.BoundPruned = res.Stats.BoundPruned
+		end.ProbeConfigs = res.Stats.ProbeConfigs
 		end.Waves = res.Stats.Waves
 		end.MaxQSize = res.Stats.MaxQSize
 		end.ElapsedNS = res.Stats.Elapsed.Nanoseconds()

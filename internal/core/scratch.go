@@ -44,6 +44,10 @@ type Scratch struct {
 	stores [2]*candidate.Store
 	flags  [3]nodeFlags
 	waves  []*pqueue.Heap[*candidate.Candidate]
+
+	// bounds holds the pooled A*-pruning state (BFS distance fields,
+	// segment-DP buffers); see PrepBounds in bounds.go.
+	bounds Bounds
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
@@ -55,9 +59,24 @@ func GetScratch() *Scratch {
 	sc.Arena.Reset()
 	sc.Q.Reset()
 	sc.QStar.Reset()
+	sc.Q.Tie = candidateTieLess
+	sc.QStar.Tie = candidateTieLess
 	sc.Buf = sc.Buf[:0]
 	sc.ResetWaves()
 	return sc
+}
+
+// resetSearchState rewinds the search structures mutated by a windowed
+// probe — arena, heaps, wave heaps, shared buffer — so the exact search
+// that follows starts from a clean scratch. Pareto stores and flag sets
+// need no rewind here: the main search re-preps them (epoch bump) before
+// use.
+func (s *Scratch) resetSearchState() {
+	s.Arena.Reset()
+	s.Q.Reset()
+	s.QStar.Reset()
+	s.Buf = s.Buf[:0]
+	s.ResetWaves()
 }
 
 // Release returns sc to the pool. The caller must not touch sc — or any
@@ -132,7 +151,7 @@ func (s *Scratch) prepFlags(i, n int) *nodeFlags {
 // heaps all live simultaneously.
 func (s *Scratch) Wave(w int) *pqueue.Heap[*candidate.Candidate] {
 	for len(s.waves) <= w {
-		s.waves = append(s.waves, &pqueue.Heap[*candidate.Candidate]{})
+		s.waves = append(s.waves, &pqueue.Heap[*candidate.Candidate]{Tie: candidateTieLess})
 	}
 	return s.waves[w]
 }

@@ -1,0 +1,12 @@
+//go:build slowtest
+
+package core
+
+import "testing"
+
+// TestKernelEquivalenceSweepFull is the make-sweep entry point: the full
+// ≥500-instance bounded-vs-unbounded equivalence gate, seeded differently
+// from the always-on reduced sweep so the two cover disjoint streams.
+func TestKernelEquivalenceSweepFull(t *testing.T) {
+	kernelEquivalenceSweep(t, 0x5eedf011, 500)
+}

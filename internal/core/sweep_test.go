@@ -1,0 +1,118 @@
+package core
+
+// Kernel-equivalence regression gate: seeded random instances of mixed
+// sizes, each routed by every kernel twice — admissible bounds on
+// (default) and off — asserting the results are byte-for-byte identical
+// (values, path, gates; effort counters legitimately differ). This is
+// the volume half of the exactness proof: the fuzzer explores tiny
+// grids adversarially, this sweep covers realistic shapes (lines, wide
+// and tall grids, interior endpoints, all blockage kinds) at scale.
+//
+// The same helper backs two tests: TestKernelEquivalenceSweep runs a
+// reduced count on every CI pass (tier1 runs the full suite), and the
+// slowtest-tagged TestKernelEquivalenceSweepFull (make sweep) runs the
+// ≥500-instance version with a different seed.
+
+import (
+	"math/rand"
+	"testing"
+
+	"clockroute/internal/elmore"
+	"clockroute/internal/geom"
+	"clockroute/internal/grid"
+)
+
+// sweepCase is one drawn instance. Unlike the metamorphic generator it
+// places endpoints anywhere (not only corners) and allows degenerate
+// shapes: 1-row lines, blockages touching the boundary, fully walled-off
+// endpoints (those draws are rejected by NewProblem and redrawn).
+type sweepCase struct {
+	p         *Problem
+	T, Ts, Tt float64
+}
+
+func randomSweepCase(rng *rand.Rand) *sweepCase {
+	W := 3 + rng.Intn(12) // 3..14
+	H := 1 + rng.Intn(9)  // 1..9
+	pitch := []float64{0.25, 0.5, 1.0}[rng.Intn(3)]
+	g := grid.MustNew(W, H, pitch)
+	for i := rng.Intn(5); i > 0; i-- {
+		x, y := rng.Intn(W), rng.Intn(H)
+		r := geom.R(x, y, min(x+1+rng.Intn(3), W), min(y+1+rng.Intn(3), H))
+		switch rng.Intn(3) {
+		case 0:
+			g.AddObstacle(r)
+		case 1:
+			g.AddRegisterBlockage(r)
+		default:
+			g.AddWiringBlockage(r)
+		}
+	}
+	m, err := elmore.NewModel(testTech(), pitch)
+	if err != nil {
+		return nil
+	}
+	n := g.NumNodes()
+	src := rng.Intn(n)
+	dst := rng.Intn(n)
+	if src == dst {
+		return nil
+	}
+	p, err := NewProblem(g, m, src, dst)
+	if err != nil {
+		return nil // endpoint landed on a blockage — redrawn by the caller
+	}
+	return &sweepCase{
+		p:  p,
+		T:  float64(20 + rng.Intn(980)),
+		Ts: float64(20 + rng.Intn(980)),
+		Tt: float64(20 + rng.Intn(980)),
+	}
+}
+
+// kernelEquivalenceSweep draws n valid instances from the seeded stream
+// and asserts bounded == unbounded for every kernel on each.
+func kernelEquivalenceSweep(t *testing.T, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for built, attempts := 0, 0; built < n; attempts++ {
+		if attempts > 20*n {
+			t.Fatalf("generator rejected too many draws: %d built after %d attempts", built, attempts)
+		}
+		c := randomSweepCase(rng)
+		if c == nil {
+			continue
+		}
+		built++
+		p := c.p
+		runs := []struct {
+			name string
+			run  func(opts Options) (*Result, error)
+		}{
+			{"fastpath", func(o Options) (*Result, error) { return FastPath(p, o) }},
+			{"rbp", func(o Options) (*Result, error) { return RBP(p, c.T, o) }},
+			{"rbp-array", func(o Options) (*Result, error) { return RBPArrayQueues(p, c.T, o) }},
+			{"rbp-slack", func(o Options) (*Result, error) {
+				o.MaximizeSlack = true
+				return RBP(p, c.T, o)
+			}},
+			{"gals", func(o Options) (*Result, error) { return GALS(p, c.Ts, c.Tt, o) }},
+		}
+		for _, r := range runs {
+			bounded, berr := r.run(Options{})
+			unbounded, uerr := r.run(Options{DisableBounds: true})
+			bs := fuzzSnap(t, r.name+"/bounded", bounded, berr)
+			us := fuzzSnap(t, r.name+"/unbounded", unbounded, uerr)
+			if bs != us {
+				t.Errorf("instance %d %s: bounded result diverges from unbounded\nbounded   %s\nunbounded %s",
+					built-1, r.name, bs, us)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceSweep is the reduced always-on gate; the full
+// ≥500-instance sweep lives behind the slowtest build tag (make sweep).
+func TestKernelEquivalenceSweep(t *testing.T) {
+	kernelEquivalenceSweep(t, 20260807, 60)
+}

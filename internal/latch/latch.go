@@ -42,6 +42,7 @@ package latch
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"clockroute/internal/candidate"
@@ -86,7 +87,7 @@ func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.
 	if maxCycles <= 0 {
 		maxCycles = MaxCyclesDefault
 	}
-	if !p.Grid.Reachable(p.Source, p.Sink) {
+	if opts.DisableBounds && !p.Grid.Reachable(p.Source, p.Sink) {
 		return nil, ErrNoPath
 	}
 
@@ -107,10 +108,39 @@ func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.
 		}
 		sc.Release()
 	}()
-	for k := 1; k <= maxCycles; k++ {
+	// Admissible lower bounds from the pooled BFS distance field. The
+	// latency floor comes from telescoping the deadline chain: any feasible
+	// k satisfies k·T ≥ K(reg) + Setup(reg) + totalWireDelay, and the wire
+	// delay of a path with d0 or more edges is at least d0·minEdge — so
+	// cycles below kmin are provably infeasible and the iterative deepening
+	// skips straight past them. The same telescoped inequality, applied per
+	// candidate, prunes partial solutions whose remaining BFS distance can
+	// no longer meet their accumulated deadline (see push in
+	// routeFixedLatency). Bounds change which candidates are explored but
+	// never which solution is returned: a pruned candidate's every
+	// completion violates the source launch check, and in the tri-store a
+	// doomed candidate only ever dominates other doomed candidates (the
+	// dominated one has larger d, smaller slack, and the same distance).
+	var bd *core.Bounds
+	minEdge := 0.0
+	kmin := 1
+	if !opts.DisableBounds {
+		bd = sc.PrepBounds(p)
+		d0 := bd.DistToSource(int32(p.Sink))
+		if d0 < 0 {
+			return nil, ErrNoPath // the deferred Release returns sc to the pool
+		}
+		minEdge = core.MinEdgeDelay(p.Model)
+		reg := p.Model.Tech().Register
+		floor := (reg.K + reg.Setup + float64(d0)*minEdge) / T
+		if k := int(math.Ceil(floor - 1e-6*(1+floor))); k > kmin {
+			kmin = k
+		}
+	}
+	for k := kmin; k <= maxCycles; k++ {
 		sc.Arena.Reset()
 		sc.ResetWaves() // a feasible arrival returns mid-drain
-		res, err := routeFixedLatency(p, T, l, k, opts, total, sc)
+		res, err := routeFixedLatency(p, T, l, k, opts, total, bd, minEdge, sc)
 		if err == nil {
 			res.Stats.Elapsed = time.Since(start)
 			return res, nil
@@ -124,11 +154,12 @@ func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.
 
 // routeFixedLatency searches for any feasible solution with latency exactly
 // k·T (source launch at −k·T), on working memory borrowed from sc.
-func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts core.Options, total *core.Stats, sc *core.Scratch) (*Result, error) {
+func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts core.Options, total *core.Stats, bd *core.Bounds, minEdge float64, sc *core.Scratch) (*Result, error) {
 	g, m := p.Grid, p.Model
 	tc := m.Tech()
 	reg := tc.Register
 	launch := -float64(k) * T
+	boundEps := 1e-6 * (1 + math.Abs(launch))
 
 	// Latch j occupies slot [-(j+1)T/2, -jT/2); a latch whose slot opens
 	// before the launch edge cannot be traversed.
@@ -144,6 +175,17 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 	nWaves, queued := 1, 0
 	push := func(w int, c *candidate.Candidate) {
 		faultpoint.Must("core.wave_push")
+		if bd != nil {
+			// Telescoped deadline bound: every completion still pays the
+			// accumulated d, at least dist·minEdge of remaining wire, and the
+			// source register's intrinsic K before the (only shrinking)
+			// deadline c.Slack — candidates that cannot make it are doomed.
+			dist := bd.DistToSource(c.Node)
+			if dist < 0 || launch+c.D+float64(dist)*minEdge+reg.K > c.Slack+boundEps {
+				stats.BoundPruned++
+				return
+			}
+		}
 		if !opts.DisablePruning {
 			if !store.Insert(c) {
 				stats.Pruned++
@@ -171,6 +213,7 @@ func routeFixedLatency(p *core.Problem, T float64, l tech.Element, k int, opts c
 		total.Configs += stats.Configs
 		total.Pushed += stats.Pushed
 		total.Pruned += stats.Pruned
+		total.BoundPruned += stats.BoundPruned
 		total.Waves += stats.Waves
 		if stats.MaxQSize > total.MaxQSize {
 			total.MaxQSize = stats.MaxQSize

@@ -145,7 +145,12 @@ type PlanStats struct {
 	// schedule-independent: a parallel run reports exactly the serial sums.
 	TotalPushed int
 	TotalPruned int
-	TotalWaves  int
+	// TotalBoundPruned sums candidates cut by the admissible search bounds;
+	// TotalProbeConfigs sums the incumbent probes' extra effort (kept out
+	// of TotalConfigs so Table-I comparisons keep their meaning).
+	TotalBoundPruned  int
+	TotalProbeConfigs int
+	TotalWaves        int
 	// MaxQSize is the largest per-net peak queue size.
 	MaxQSize int
 	// NetsRouted / NetsFailed split the nets by outcome.
@@ -178,6 +183,8 @@ func (s *PlanStats) add(n *NetResult) {
 	s.TotalConfigs += n.Configs
 	s.TotalPushed += n.Stats.Pushed
 	s.TotalPruned += n.Stats.Pruned
+	s.TotalBoundPruned += n.Stats.BoundPruned
+	s.TotalProbeConfigs += n.Stats.ProbeConfigs
 	s.TotalWaves += n.Stats.Waves
 	if n.MaxQSize > s.MaxQSize {
 		s.MaxQSize = n.MaxQSize

@@ -8,6 +8,24 @@ package pqueue
 type Heap[T any] struct {
 	keys []float64
 	vals []T
+
+	// Tie, when non-nil, breaks exact key equality: among equal-key items
+	// the one for which Tie(a, b) reports a-before-b pops first. With a Tie
+	// that is a strict total order over the queued values, Pop becomes a
+	// pure function of the heap's *contents* — the pop sequence no longer
+	// depends on insertion order or heap shape, which is what lets a search
+	// that prunes a subset of pushes still pop the surviving candidates in
+	// exactly the order the unpruned search would. Tie is consulted only on
+	// exact float64 equality, so it costs nothing on distinct keys.
+	Tie func(a, b T) bool
+}
+
+// less orders heap slots i and j by (key, Tie) lexicographically.
+func (h *Heap[T]) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.Tie != nil && h.Tie(h.vals[i], h.vals[j])
 }
 
 // Len returns the number of queued items.
@@ -76,7 +94,7 @@ func (h *Heap[T]) ExtractAllMin(dst []T, eps float64) ([]T, float64) {
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.keys[p] <= h.keys[i] {
+		if !h.less(i, p) {
 			return
 		}
 		h.swap(p, i)
@@ -89,10 +107,10 @@ func (h *Heap[T]) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && h.keys[l] < h.keys[small] {
+		if l < n && h.less(l, small) {
 			small = l
 		}
-		if r < n && h.keys[r] < h.keys[small] {
+		if r < n && h.less(r, small) {
 			small = r
 		}
 		if small == i {

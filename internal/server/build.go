@@ -148,13 +148,15 @@ func routeResponse(res *core.Result, g *grid.Grid) *api.RouteResponse {
 		Registers:     res.Registers,
 		Buffers:       res.Buffers,
 		Stats: api.SearchStats{
-			Configs:   res.Stats.Configs,
-			Pushed:    res.Stats.Pushed,
-			Pruned:    res.Stats.Pruned,
-			Killed:    res.Stats.Killed,
-			Waves:     res.Stats.Waves,
-			MaxQSize:  res.Stats.MaxQSize,
-			ElapsedNS: res.Stats.Elapsed.Nanoseconds(),
+			Configs:      res.Stats.Configs,
+			Pushed:       res.Stats.Pushed,
+			Pruned:       res.Stats.Pruned,
+			BoundPruned:  res.Stats.BoundPruned,
+			ProbeConfigs: res.Stats.ProbeConfigs,
+			Killed:       res.Stats.Killed,
+			Waves:        res.Stats.Waves,
+			MaxQSize:     res.Stats.MaxQSize,
+			ElapsedNS:    res.Stats.Elapsed.Nanoseconds(),
 		},
 	}
 	if res.Path != nil {
@@ -188,15 +190,17 @@ func netResultOnWire(n *planner.NetResult, g *grid.Grid) api.NetResult {
 // beyond the NetsRouted adjustment the handler applies.
 func planStatsOnWire(plan *planner.Plan) api.PlanStats {
 	return api.PlanStats{
-		Workers:      plan.Stats.Workers,
-		NetsRouted:   plan.Stats.NetsRouted,
-		NetsFailed:   plan.Stats.NetsFailed,
-		TotalConfigs: plan.Stats.TotalConfigs,
-		TotalPushed:  plan.Stats.TotalPushed,
-		TotalPruned:  plan.Stats.TotalPruned,
-		TotalWaves:   plan.Stats.TotalWaves,
-		MaxQSize:     plan.Stats.MaxQSize,
-		ElapsedNS:    plan.Stats.Elapsed.Nanoseconds(),
+		Workers:           plan.Stats.Workers,
+		NetsRouted:        plan.Stats.NetsRouted,
+		NetsFailed:        plan.Stats.NetsFailed,
+		TotalConfigs:      plan.Stats.TotalConfigs,
+		TotalPushed:       plan.Stats.TotalPushed,
+		TotalPruned:       plan.Stats.TotalPruned,
+		TotalBoundPruned:  plan.Stats.TotalBoundPruned,
+		TotalProbeConfigs: plan.Stats.TotalProbeConfigs,
+		TotalWaves:        plan.Stats.TotalWaves,
+		MaxQSize:          plan.Stats.MaxQSize,
+		ElapsedNS:         plan.Stats.Elapsed.Nanoseconds(),
 	}
 }
 

@@ -144,6 +144,8 @@ type Metrics struct {
 	Configs      Counter // candidates popped across all searches
 	Pushed       Counter // candidates pushed
 	Pruned       Counter // candidates rejected as dominated
+	BoundPruned  Counter // candidates cut by admissible search bounds
+	ProbeConfigs Counter // incumbent-probe effort (excluded from Configs)
 	Waves        Counter // wavefronts processed
 	MaxQSize     Gauge   // largest per-search peak queue size seen
 	// Net-level counters (net_* events).
@@ -217,6 +219,8 @@ func (m *Metrics) Emit(e Event) {
 		m.Configs.Add(int64(e.Configs))
 		m.Pushed.Add(int64(e.Pushed))
 		m.Pruned.Add(int64(e.Pruned))
+		m.BoundPruned.Add(int64(e.BoundPruned))
+		m.ProbeConfigs.Add(int64(e.ProbeConfigs))
 		m.Waves.Add(int64(e.Waves))
 		m.MaxQSize.Max(int64(e.MaxQSize))
 	case EventNetQueued:
@@ -246,6 +250,8 @@ func (m *Metrics) Snapshot() map[string]any {
 		"configs":        m.Configs.Value(),
 		"pushed":         m.Pushed.Value(),
 		"pruned":         m.Pruned.Value(),
+		"bound_pruned":   m.BoundPruned.Value(),
+		"probe_configs":  m.ProbeConfigs.Value(),
 		"prune_ratio":    m.PruneRatio(),
 		"waves":          m.Waves.Value(),
 		"max_q_size":     m.MaxQSize.Value(),

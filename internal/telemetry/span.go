@@ -30,11 +30,13 @@ type Span struct {
 	Algo   string `json:"algo,omitempty"`
 	Wave   int    `json:"wave,omitempty"`
 	// Search-effort counters (closed search spans).
-	LatencyPS float64 `json:"latency_ps,omitempty"`
-	Configs   int     `json:"configs,omitempty"`
-	Pushed    int     `json:"pushed,omitempty"`
-	Pruned    int     `json:"pruned,omitempty"`
-	Waves     int     `json:"waves,omitempty"`
+	LatencyPS    float64 `json:"latency_ps,omitempty"`
+	Configs      int     `json:"configs,omitempty"`
+	Pushed       int     `json:"pushed,omitempty"`
+	Pruned       int     `json:"pruned,omitempty"`
+	BoundPruned  int     `json:"bound_pruned,omitempty"`
+	ProbeConfigs int     `json:"probe_configs,omitempty"`
+	Waves        int     `json:"waves,omitempty"`
 
 	// Attrs carries request-scoped annotations that do not fit a fixed
 	// field — most importantly problem_hash, which makes a slow request
@@ -291,6 +293,7 @@ func (r *Recorder) Emit(e Event) {
 			s.Err = e.Err
 			s.LatencyPS = e.LatencyPS
 			s.Configs, s.Pushed, s.Pruned, s.Waves = e.Configs, e.Pushed, e.Pruned, e.Waves
+			s.BoundPruned, s.ProbeConfigs = e.BoundPruned, e.ProbeConfigs
 		}
 		o.search = nil
 	case EventNetEnd:
@@ -301,6 +304,7 @@ func (r *Recorder) Emit(e Event) {
 			s.Algo = e.Algo
 			s.LatencyPS = e.LatencyPS
 			s.Configs, s.Pushed, s.Pruned, s.Waves = e.Configs, e.Pushed, e.Pruned, e.Waves
+			s.BoundPruned, s.ProbeConfigs = e.BoundPruned, e.ProbeConfigs
 		}
 		delete(r.nets, e.Net)
 	}

@@ -106,12 +106,17 @@ type Event struct {
 	Wave      int     `json:"wave,omitempty"`
 	LatencyPS float64 `json:"latency_ps,omitempty"`
 	// Search-effort counters (search_end, net_end), mirroring core.Stats.
-	Configs   int   `json:"configs,omitempty"`
-	Pushed    int   `json:"pushed,omitempty"`
-	Pruned    int   `json:"pruned,omitempty"`
-	Waves     int   `json:"waves,omitempty"`
-	MaxQSize  int   `json:"max_q,omitempty"`
-	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+	Configs int `json:"configs,omitempty"`
+	Pushed  int `json:"pushed,omitempty"`
+	Pruned  int `json:"pruned,omitempty"`
+	// BoundPruned counts candidates cut by the admissible search bounds
+	// before entering the Pareto stores; ProbeConfigs is the extra effort
+	// the incumbent probe spent (not included in Configs).
+	BoundPruned  int   `json:"bound_pruned,omitempty"`
+	ProbeConfigs int   `json:"probe_configs,omitempty"`
+	Waves        int   `json:"waves,omitempty"`
+	MaxQSize     int   `json:"max_q,omitempty"`
+	ElapsedNS    int64 `json:"elapsed_ns,omitempty"`
 	// Err is the failure or abort cause, empty on success.
 	Err string `json:"err,omitempty"`
 	// Trace and Request are the W3C trace id and wire request id the event
