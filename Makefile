@@ -93,12 +93,14 @@ bench-cache:
 	go test -run xxx -bench 'BenchmarkRouteColdMiss$$|BenchmarkRouteWarmHit$$|BenchmarkPlanHalfRepeated$$' -benchmem -benchtime 50x -json ./internal/server > BENCH_cache.json
 	@grep -o '"Output":"[^"]*/op[^"]*' BENCH_cache.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 
-# Perf-regression gate: rerun the headline RBP benchmark into a local
-# (gitignored) JSON stream and compare it against the checked-in
-# BENCH_core.json — >5% configs/op regression or any routed-result drift
-# (registers/op, latency_ps) fails the target.
+# Perf-regression gate: rerun the headline RBP benchmark plus the serial
+# batch-planner row into a local (gitignored) JSON stream and compare them
+# against the checked-in BENCH_core.json — >5% configs/op regression or any
+# routed-result drift (registers/op, latency_ps) fails the target. The
+# workers=1 planner row is the batch-path fingerprint: it would have caught
+# the PR 8 tie-ordering tax that landed silently.
 bench-check:
-	go test -run xxx -bench 'BenchmarkRBP$$' -benchtime 10x -json . > bench-check.json
+	go test -run xxx -bench 'BenchmarkRBP$$|BenchmarkPlanner_ParallelVsSerial$$/^workers=1$$' -benchtime 10x -json . > bench-check.json
 	go run ./cmd/benchcheck -baseline BENCH_core.json -current bench-check.json
 
 # End-to-end observability demo: route the SoC25mm batch with the live

@@ -178,24 +178,8 @@ func (r *PlanRequest) Validate() error {
 			return fmt.Errorf("api: duplicate net name %q", n.Name)
 		}
 		seen[n.Name] = true
-		if !finitePositive(n.SrcPeriodPS) || !finitePositive(n.DstPeriodPS) {
-			return fmt.Errorf("api: net %q needs positive finite periods, got %g and %g",
-				n.Name, n.SrcPeriodPS, n.DstPeriodPS)
-		}
-		if !r.Grid.contains(n.Src) || !r.Grid.contains(n.Dst) {
-			return fmt.Errorf("api: net %q endpoints %v -> %v must lie on the %dx%d grid",
-				n.Name, n.Src, n.Dst, r.Grid.W, r.Grid.H)
-		}
-		if n.Src == n.Dst {
-			return fmt.Errorf("api: net %q source equals sink", n.Name)
-		}
-		if len(n.WireWidths) > MaxWireWidths {
-			return fmt.Errorf("api: net %q sweeps %d wire widths, limit %d", n.Name, len(n.WireWidths), MaxWireWidths)
-		}
-		for _, w := range n.WireWidths {
-			if !finitePositive(w) {
-				return fmt.Errorf("api: net %q wire width %g must be positive and finite", n.Name, w)
-			}
+		if err := n.Validate(&r.Grid); err != nil {
+			return err
 		}
 	}
 	if r.TimeoutMS < 0 {
@@ -207,6 +191,37 @@ func (r *PlanRequest) Validate() error {
 	if r.Cache != nil {
 		if err := r.Cache.Validate(); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks one net against g: a non-empty name, positive finite
+// periods, on-grid distinct endpoints, and a bounded, positive width sweep.
+// It is the per-net half of PlanRequest.Validate, shared with the streaming
+// decoder, which validates each line as it arrives; name uniqueness is the
+// caller's, since it is a property of the batch, not the net.
+func (n *NetSpec) Validate(g *GridSpec) error {
+	if n.Name == "" {
+		return errors.New("api: net with empty name")
+	}
+	if !finitePositive(n.SrcPeriodPS) || !finitePositive(n.DstPeriodPS) {
+		return fmt.Errorf("api: net %q needs positive finite periods, got %g and %g",
+			n.Name, n.SrcPeriodPS, n.DstPeriodPS)
+	}
+	if !g.contains(n.Src) || !g.contains(n.Dst) {
+		return fmt.Errorf("api: net %q endpoints %v -> %v must lie on the %dx%d grid",
+			n.Name, n.Src, n.Dst, g.W, g.H)
+	}
+	if n.Src == n.Dst {
+		return fmt.Errorf("api: net %q source equals sink", n.Name)
+	}
+	if len(n.WireWidths) > MaxWireWidths {
+		return fmt.Errorf("api: net %q sweeps %d wire widths, limit %d", n.Name, len(n.WireWidths), MaxWireWidths)
+	}
+	for _, w := range n.WireWidths {
+		if !finitePositive(w) {
+			return fmt.Errorf("api: net %q wire width %g must be positive and finite", n.Name, w)
 		}
 	}
 	return nil

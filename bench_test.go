@@ -402,6 +402,11 @@ func BenchmarkFastPath(b *testing.B) {
 // multi-core host the 4-worker row shows the batch-routing speedup; on any
 // host the rows confirm the parallel engine pays no correctness or setup
 // penalty over the serial loop.
+//
+// Besides the configs/op effort count, each row fingerprints the routed
+// answer — total registers and summed latency across the batch — so
+// cmd/benchcheck's gate catches a batch-path result drift (any fingerprint
+// delta fails) separately from an effort regression (>5% configs/op).
 func BenchmarkPlanner_ParallelVsSerial(b *testing.B) {
 	pl, specs, err := bench.SoCNetWorkload(0.5, 16)
 	if err != nil {
@@ -409,15 +414,26 @@ func BenchmarkPlanner_ParallelVsSerial(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			var configs int
+			var configs, regs int
+			var lat float64
 			for n := 0; n < b.N; n++ {
 				plan, err := pl.RunParallel(context.Background(), workers, specs)
 				if err != nil {
 					b.Fatal(err)
 				}
 				configs = plan.Stats.TotalConfigs
+				regs, lat = 0, 0
+				for i := range plan.Nets {
+					if plan.Nets[i].Err != nil {
+						b.Fatal(plan.Nets[i].Err)
+					}
+					regs += plan.Nets[i].Registers
+					lat += plan.Nets[i].LatencyPS
+				}
 			}
 			b.ReportMetric(float64(configs), "configs/op")
+			b.ReportMetric(float64(regs), "registers/op")
+			b.ReportMetric(lat, "latency_ps")
 		})
 	}
 }

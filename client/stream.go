@@ -1,0 +1,195 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"clockroute/api"
+	"clockroute/internal/telemetry"
+)
+
+// NetSource supplies the nets of a streamed plan by pushing each one
+// through emit, stopping early if emit returns an error (which it must
+// propagate). A source must be replayable from the start: PlanStream calls
+// it once per attempt, so a refused stream (429/503 before any result) can
+// be retried whole. Sources that cannot replay should disable retries with
+// WithMaxAttempts(1).
+type NetSource func(emit func(api.NetSpec) error) error
+
+// NetsFromSlice adapts a fixed net list into a (trivially replayable)
+// NetSource.
+func NetsFromSlice(nets []api.NetSpec) NetSource {
+	return func(emit func(api.NetSpec) error) error {
+		for _, n := range nets {
+			if err := emit(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// PlanStream routes a batch via the NDJSON transport of POST /v1/plan:
+// nets are uploaded as they are produced by the source, and fn receives
+// each result the moment the server finishes that net — in completion
+// order, not submission order — while later nets are still uploading.
+// Neither side buffers the whole plan, so a stream may carry up to
+// api.MaxStreamNets nets against the buffered endpoint's api.MaxNets.
+//
+// fn is called sequentially; returning an error aborts the stream (the
+// server sees the disconnect and cancels outstanding nets) and PlanStream
+// returns that error. On success PlanStream returns the batch stats from
+// the stream's trailer, covering the routed nets (cache hits included in
+// NetsRouted, as in the buffered response).
+//
+// Retries mirror Plan's — same backoff, same Retry-After floor, same
+// trace identity across attempts — but only before the stream opens: a
+// refusal (429 shed, 503 drain) arrives as a plain HTTP status and the
+// whole exchange is replayed, while after the first 200 byte the server
+// has committed results and a mid-stream failure is returned as-is.
+func (c *Client) PlanStream(ctx context.Context, hdr *api.PlanStreamHeader, nets NetSource, fn func(api.NetResult) error) (*api.PlanStats, error) {
+	// One trace identity per call, shared by every retry attempt, exactly
+	// as in post.
+	tc, ok := telemetry.TraceFromContext(ctx)
+	if ok {
+		tc = tc.Child()
+	} else {
+		tc = telemetry.NewTraceContext()
+	}
+	rid := telemetry.RequestIDFromContext(ctx)
+	if rid == "" {
+		rid = tc.TraceHex()
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, c.delay(attempt, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		stats, opened, err := c.planStreamOnce(ctx, hdr, nets, fn, tc, rid)
+		if err == nil {
+			return stats, nil
+		}
+		lastErr = err
+		if opened {
+			return nil, err // results already flowed; the exchange is not replayable
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !apiErr.Temporary() {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.maxAttempts, lastErr)
+}
+
+// planStreamOnce performs a single streamed exchange. opened reports
+// whether the server committed to the stream (status 200 seen): an error
+// after that must not be retried.
+func (c *Client) planStreamOnce(ctx context.Context, hdr *api.PlanStreamHeader, nets NetSource, fn func(api.NetResult) error, tc telemetry.TraceContext, rid string) (stats *api.PlanStats, opened bool, err error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/plan", pr)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", api.ContentTypeNDJSON)
+	req.Header.Set("traceparent", tc.TraceParent())
+	req.Header.Set("X-Request-Id", rid)
+
+	// The upload runs beside the download: the server's bounded decode
+	// window pushes back through the pipe, so a plan is produced no faster
+	// than it routes. A refused or finished exchange unblocks the writer
+	// because the transport closes the request body (the pipe's read end).
+	writeErr := make(chan error, 1)
+	go func() {
+		enc := json.NewEncoder(pw)
+		err := func() error {
+			if err := enc.Encode(hdr); err != nil {
+				return err
+			}
+			return nets(func(n api.NetSpec) error { return enc.Encode(n) })
+		}()
+		pw.CloseWithError(err) // nil closes clean: the server sees EOF
+		writeErr <- err
+	}()
+
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var e api.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = http.StatusText(resp.StatusCode)
+		}
+		if ra := retryAfter(resp); ra > 0 {
+			return nil, false, &retryAfterError{APIError: apiErr, after: ra}
+		}
+		return nil, false, apiErr
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), api.MaxLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if t, ok := decodeTrailer(line); ok {
+			if t.Error != "" {
+				// Surface a local upload failure over the server's view of
+				// it (typically "malformed line: unexpected EOF").
+				select {
+				case werr := <-writeErr:
+					if werr != nil {
+						return nil, true, fmt.Errorf("client: stream upload: %w", werr)
+					}
+				default:
+				}
+				return nil, true, fmt.Errorf("client: stream failed: %s", t.Error)
+			}
+			return t.Stats, true, nil
+		}
+		var nr api.NetResult
+		if err := json.Unmarshal(line, &nr); err != nil {
+			return nil, true, fmt.Errorf("client: decode result line: %w", err)
+		}
+		if err := fn(nr); err != nil {
+			return nil, true, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, true, fmt.Errorf("client: read stream: %w", err)
+	}
+	return nil, true, errors.New("client: stream ended without a trailer")
+}
+
+// decodeTrailer reports whether line is the stream's trailer. NetResult
+// lines always carry a "name" member (net names are validated non-empty
+// before anything is emitted), which the strict decode rejects as an
+// unknown field, so the two line shapes cannot be confused.
+func decodeTrailer(line []byte) (*api.PlanStreamTrailer, bool) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var t api.PlanStreamTrailer
+	if err := dec.Decode(&t); err != nil {
+		return nil, false
+	}
+	if t.Stats == nil && t.Error == "" {
+		return nil, false
+	}
+	return &t, true
+}

@@ -1,0 +1,163 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clockroute/api"
+	"clockroute/internal/telemetry"
+)
+
+func streamTestHeader() *api.PlanStreamHeader {
+	return &api.PlanStreamHeader{Grid: api.GridSpec{W: 8, H: 8, PitchMM: 0.25}}
+}
+
+func streamTestNets(n int) []api.NetSpec {
+	nets := make([]api.NetSpec, n)
+	for i := range nets {
+		nets[i] = api.NetSpec{
+			Name: fmt.Sprintf("n%d", i),
+			Src:  api.Point{X: 1, Y: 1}, Dst: api.Point{X: 6, Y: 6},
+			SrcPeriodPS: 500, DstPeriodPS: 500,
+		}
+	}
+	return nets
+}
+
+// fakeStreamHandler consumes an NDJSON plan upload and answers one result
+// line per net plus a stats trailer.
+func fakeStreamHandler(t *testing.T) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, api.ContentTypeNDJSON) {
+			t.Errorf("content type %q", ct)
+		}
+		dec := api.NewPlanStreamDecoder(r.Body)
+		hdr, err := dec.Header()
+		if err != nil {
+			t.Errorf("header: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		routed := 0
+		for {
+			n, err := dec.Next(&hdr.Grid)
+			if err != nil {
+				break
+			}
+			routed++
+			enc.Encode(api.NetResult{Name: n.Name, LatencyPS: 1000})
+		}
+		enc.Encode(api.PlanStreamTrailer{Stats: &api.PlanStats{NetsRouted: routed}})
+	}
+}
+
+// TestPlanStreamRetriesBeforeOpen: a 429 with Retry-After arrives before
+// any stream byte, so the whole exchange — net upload included — is
+// replayed, honoring the hint, and the retry carries the same trace
+// identity as the refused attempt.
+func TestPlanStreamRetriesBeforeOpen(t *testing.T) {
+	var calls atomic.Int32
+	var traceparents []string
+	ok := fakeStreamHandler(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceparents = append(traceparents, r.Header.Get("traceparent"))
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: "saturated"})
+			return
+		}
+		ok(w, r)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	got := 0
+	stats, err := c.PlanStream(context.Background(), streamTestHeader(),
+		NetsFromSlice(streamTestNets(3)), func(nr api.NetResult) error {
+			got++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 || stats.NetsRouted != 3 {
+		t.Fatalf("results %d, stats %+v", got, stats)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want refused + retried", calls.Load())
+	}
+	if len(traceparents) != 2 || traceparents[0] == "" {
+		t.Fatalf("traceparents %v", traceparents)
+	}
+	tc0, err0 := telemetry.ParseTraceParent(traceparents[0])
+	tc1, err1 := telemetry.ParseTraceParent(traceparents[1])
+	if err0 != nil || err1 != nil || tc0.TraceHex() != tc1.TraceHex() {
+		t.Errorf("retry changed trace identity: %q vs %q", traceparents[0], traceparents[1])
+	}
+}
+
+// TestPlanStreamDoesNotRetryAfterOpen: once results have flowed, a broken
+// stream is returned as an error, never replayed.
+func TestPlanStreamDoesNotRetryAfterOpen(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+		json.NewEncoder(w).Encode(api.NetResult{Name: "n0", LatencyPS: 1000})
+		// Drop the connection with no trailer.
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	_, err := c.PlanStream(context.Background(), streamTestHeader(),
+		NetsFromSlice(streamTestNets(1)), func(api.NetResult) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "without a trailer") {
+		t.Fatalf("err = %v, want truncated-stream error", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d: a committed stream must not be retried", calls.Load())
+	}
+}
+
+// TestPlanStreamCallerAbort: fn's error stops the stream and surfaces.
+func TestPlanStreamCallerAbort(t *testing.T) {
+	ts := httptest.NewServer(fakeStreamHandler(t))
+	defer ts.Close()
+	c := New(ts.URL, WithMaxAttempts(1))
+	sentinel := fmt.Errorf("enough")
+	_, err := c.PlanStream(context.Background(), streamTestHeader(),
+		NetsFromSlice(streamTestNets(3)), func(api.NetResult) error { return sentinel })
+	if err != sentinel {
+		t.Fatalf("err = %v, want the caller's abort error", err)
+	}
+}
+
+// TestPlanStreamPermanentRefusalNotRetried: a 400 before the stream opens
+// is permanent.
+func TestPlanStreamPermanentRefusalNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "bad header"})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	_, err := c.PlanStream(context.Background(), streamTestHeader(),
+		NetsFromSlice(streamTestNets(1)), func(api.NetResult) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "bad header") {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d: permanent errors must not be retried", calls.Load())
+	}
+}

@@ -18,15 +18,18 @@ import (
 //	routed cache stats    [-addr host:port]   print cache occupancy and hit counters
 //	routed cache snapshot [-addr host:port]   persist the cache to a new segment file
 //	routed cache load     [-addr host:port]   replay snapshot segments into the cache
+//	routed cache diff     <old> <new>         compare two snapshot generations offline
 //
 // snapshot and load require the server to have been started with
-// -cache-dir. The exit code is 0 on success, 1 on any failure.
+// -cache-dir; diff works on segment files or cache directories directly
+// and never contacts a server (see runCacheDiff). The exit code is 0 on
+// success, 1 on any failure.
 func runCacheCmd(args []string) int {
 	fs := flag.NewFlagSet("routed cache", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "address of the running routed server")
 	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: routed cache <stats|snapshot|load> [-addr host:port]")
+		fmt.Fprintln(os.Stderr, "usage: routed cache <stats|snapshot|load|diff> [-addr host:port]")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -34,6 +37,9 @@ func runCacheCmd(args []string) int {
 		return 1
 	}
 	verb := args[0]
+	if verb == "diff" {
+		return runCacheDiff(args[1:])
+	}
 	fs.Parse(args[1:])
 
 	var method, path string

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"clockroute/internal/resultcache"
+)
+
+// runCacheDiff implements `routed cache diff <old> <new>`: an offline
+// comparison of two snapshot generations. Unlike the other cache verbs it
+// never talks to a server — each argument is either a single segment file
+// or a whole cache directory, and a directory is reduced the way a boot
+// load would reduce it (segments in replay order, the last record per key
+// winning). One line per differing key, sorted by hex key, then a summary.
+//
+// The exit code follows diff(1): 0 when the generations hold identical
+// entries, 1 when they differ, 2 on any error (including a corrupt
+// segment — a diff over a half-readable generation would lie).
+func runCacheDiff(args []string) int {
+	fs := flag.NewFlagSet("routed cache diff", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "print the summary only, no per-key lines")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: routed cache diff [-q] <old-seg-or-dir> <new-seg-or-dir>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	old, err := loadGeneration(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routed cache diff:", err)
+		return 2
+	}
+	cur, err := loadGeneration(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routed cache diff:", err)
+		return 2
+	}
+	d := diffGenerations(old, cur)
+	d.render(os.Stdout, *quiet)
+	if d.identical() {
+		return 0
+	}
+	return 1
+}
+
+// generation is one snapshot state: the last payload per key, as a load
+// of the same file or directory would have built it.
+type generation struct {
+	path    string
+	entries map[resultcache.Key][]byte
+}
+
+func loadGeneration(path string) (*generation, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	g := &generation{path: path, entries: make(map[resultcache.Key][]byte)}
+	record := func(k resultcache.Key, payload []byte) error {
+		g.entries[k] = payload
+		return nil
+	}
+	if info.IsDir() {
+		if err := resultcache.ScanDir(path, record); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := resultcache.ScanSegment(f, record); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+func (g *generation) payloadBytes() int64 {
+	var n int64
+	for _, p := range g.entries {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// cacheDiff is the computed difference between two generations. Byte
+// figures count payload bytes (what the cache accounts), not the fixed
+// 40-byte per-record framing.
+type cacheDiff struct {
+	old, cur *generation
+
+	added, removed, changed, unchanged int
+	addedBytes, removedBytes           int64
+	changedDelta                       int64 // net payload growth across changed keys
+
+	lines []string // per-key report, sorted by hex key
+}
+
+func (d *cacheDiff) identical() bool { return d.added+d.removed+d.changed == 0 }
+
+func diffGenerations(old, cur *generation) *cacheDiff {
+	d := &cacheDiff{old: old, cur: cur}
+	keys := make([]resultcache.Key, 0, len(old.entries)+len(cur.entries))
+	for k := range old.entries {
+		keys = append(keys, k)
+	}
+	for k := range cur.entries {
+		if _, ok := old.entries[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i][:], keys[j][:]) < 0 })
+	for _, k := range keys {
+		op, inOld := old.entries[k]
+		np, inCur := cur.entries[k]
+		switch {
+		case !inOld:
+			d.added++
+			d.addedBytes += int64(len(np))
+			d.lines = append(d.lines, fmt.Sprintf("+ %s %dB", hex.EncodeToString(k[:]), len(np)))
+		case !inCur:
+			d.removed++
+			d.removedBytes += int64(len(op))
+			d.lines = append(d.lines, fmt.Sprintf("- %s %dB", hex.EncodeToString(k[:]), len(op)))
+		case !bytes.Equal(op, np):
+			d.changed++
+			d.changedDelta += int64(len(np)) - int64(len(op))
+			d.lines = append(d.lines, fmt.Sprintf("~ %s %dB -> %dB (%+dB)",
+				hex.EncodeToString(k[:]), len(op), len(np), len(np)-len(op)))
+		default:
+			d.unchanged++
+		}
+	}
+	return d
+}
+
+func (d *cacheDiff) render(w io.Writer, quiet bool) {
+	if !quiet {
+		for _, l := range d.lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+	fmt.Fprintf(w, "old %s: %d keys, %dB\n", d.old.path, len(d.old.entries), d.old.payloadBytes())
+	fmt.Fprintf(w, "new %s: %d keys, %dB\n", d.cur.path, len(d.cur.entries), d.cur.payloadBytes())
+	fmt.Fprintf(w, "added %d (+%dB), removed %d (-%dB), changed %d (%+dB), unchanged %d\n",
+		d.added, d.addedBytes, d.removed, d.removedBytes, d.changed, d.changedDelta, d.unchanged)
+}

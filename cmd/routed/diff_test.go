@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clockroute/internal/resultcache"
+)
+
+func diffKey(b byte) resultcache.Key {
+	var k resultcache.Key
+	k[0] = b
+	return k
+}
+
+// writeSyntheticSegment persists the given entries as one snapshot
+// segment at path, using the same writer the server's snapshot path uses.
+func writeSyntheticSegment(t *testing.T, path string, entries map[resultcache.Key][]byte) {
+	t.Helper()
+	c := resultcache.New(resultcache.Config{MaxBytes: 1 << 20})
+	for k, p := range entries {
+		c.Put(k, p, int64(len(p)))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := resultcache.WriteSegment(f, c, func(k resultcache.Key, v any) ([]byte, bool) {
+		return v.([]byte), true
+	})
+	if err != nil || n != len(entries) {
+		t.Fatalf("WriteSegment: %d entries, err %v", n, err)
+	}
+}
+
+// TestCacheDiffTwoSegments diffs two synthetic snapshot generations and
+// checks the added/removed/changed classification, the byte deltas, and
+// the rendered report.
+func TestCacheDiffTwoSegments(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.seg")
+	newPath := filepath.Join(dir, "new.seg")
+	writeSyntheticSegment(t, oldPath, map[resultcache.Key][]byte{
+		diffKey(1): []byte("aaaa"),  // removed
+		diffKey(2): []byte("bbbb"),  // unchanged
+		diffKey(3): []byte("ccccc"), // shrinks by 3
+	})
+	writeSyntheticSegment(t, newPath, map[resultcache.Key][]byte{
+		diffKey(2): []byte("bbbb"),
+		diffKey(3): []byte("cc"),
+		diffKey(4): []byte("ffffff"), // added
+	})
+
+	old, err := loadGeneration(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := loadGeneration(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := diffGenerations(old, cur)
+	if d.identical() {
+		t.Fatal("generations reported identical")
+	}
+	if d.added != 1 || d.removed != 1 || d.changed != 1 || d.unchanged != 1 {
+		t.Fatalf("counts +%d -%d ~%d =%d, want 1 each", d.added, d.removed, d.changed, d.unchanged)
+	}
+	if d.addedBytes != 6 || d.removedBytes != 4 || d.changedDelta != -3 {
+		t.Fatalf("bytes +%d -%d delta %d, want +6 -4 -3", d.addedBytes, d.removedBytes, d.changedDelta)
+	}
+
+	var out bytes.Buffer
+	d.render(&out, false)
+	report := out.String()
+	for _, want := range []string{
+		"- 01", "+ 04", "~ 03", "5B -> 2B (-3B)",
+		"old " + oldPath + ": 3 keys, 13B",
+		"new " + newPath + ": 3 keys, 12B",
+		"added 1 (+6B), removed 1 (-4B), changed 1 (-3B), unchanged 1",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Per-key lines come out in hex key order.
+	if i, j := strings.Index(report, "- 01"), strings.Index(report, "+ 04"); i > j {
+		t.Errorf("lines not key-sorted:\n%s", report)
+	}
+
+	var quietOut bytes.Buffer
+	d.render(&quietOut, true)
+	if strings.Contains(quietOut.String(), "~ 03") {
+		t.Errorf("-q still printed per-key lines:\n%s", quietOut.String())
+	}
+
+	if d2 := diffGenerations(old, old); !d2.identical() {
+		t.Error("self-diff not identical")
+	}
+}
+
+// TestCacheDiffDirectoryGeneration treats a cache directory as one
+// generation: segments replay in order and the last record per key wins,
+// matching what a server boot would load.
+func TestCacheDiffDirectoryGeneration(t *testing.T) {
+	dir := t.TempDir()
+	writeSyntheticSegment(t, filepath.Join(dir, "cache-000001.seg"), map[resultcache.Key][]byte{
+		diffKey(1): []byte("old-value"),
+		diffKey(2): []byte("keep"),
+	})
+	writeSyntheticSegment(t, filepath.Join(dir, "cache-000002.seg"), map[resultcache.Key][]byte{
+		diffKey(1): []byte("new-value-wins"),
+	})
+
+	g, err := loadGeneration(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.entries) != 2 {
+		t.Fatalf("loaded %d keys, want 2", len(g.entries))
+	}
+	if got := string(g.entries[diffKey(1)]); got != "new-value-wins" {
+		t.Fatalf("later segment did not win: %q", got)
+	}
+
+	// Against a single segment holding the reduced state, the directory
+	// generation must diff clean.
+	flat := filepath.Join(t.TempDir(), "flat.seg")
+	writeSyntheticSegment(t, flat, map[resultcache.Key][]byte{
+		diffKey(1): []byte("new-value-wins"),
+		diffKey(2): []byte("keep"),
+	})
+	fg, err := loadGeneration(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffGenerations(g, fg); !d.identical() {
+		t.Fatalf("dir vs reduced segment differ: %+v", d)
+	}
+}
+
+// TestCacheDiffCorruptSegmentFails: a diff over a half-readable
+// generation must error out rather than report a misleading delta.
+func TestCacheDiffCorruptSegmentFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.seg")
+	good := filepath.Join(t.TempDir(), "good.seg")
+	writeSyntheticSegment(t, good, map[resultcache.Key][]byte{diffKey(1): []byte("x")})
+	b, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadGeneration(path); err == nil {
+		t.Fatal("truncated segment loaded without error")
+	}
+}

@@ -10,6 +10,7 @@
 //	routed -addr :8080 -metrics-addr 127.0.0.1:9090 -trace routed.jsonl -v
 //	routed -addr :8080 -cache-mb 128 -cache-dir /var/lib/routed/cache
 //	routed cache stats|snapshot|load -addr 127.0.0.1:8080
+//	routed cache diff old-dir new-dir
 //
 // Admission control sheds load with 429 + Retry-After once the in-flight
 // and queue limits are both full. On SIGINT/SIGTERM the server drains:
@@ -51,7 +52,7 @@ import (
 
 func main() {
 	// Admin subcommands run against an already-listening server:
-	// routed cache <stats|snapshot|load> [-addr host:port]
+	// routed cache <stats|snapshot|load|diff> [-addr host:port]
 	if len(os.Args) > 1 && os.Args[1] == "cache" {
 		os.Exit(runCacheCmd(os.Args[2:]))
 	}

@@ -68,9 +68,17 @@ const (
 // (PrepBounds). Exported because the latch router borrows it through
 // core.Scratch exactly like the in-package kernels.
 type Bounds struct {
+	// distSrc and distSink are read-only views for the current search: they
+	// alias either the pooled ownSrc/ownSink buffers (uncached runs) or
+	// immutable fields published by a plan-scoped ShareCache. Writers must
+	// target ownSrc/ownSink, never the views — growing a view in place
+	// could recycle a shared field as scratch and corrupt concurrent
+	// searches reading it.
 	distSrc  []int32 // BFS edge distance from the source; -1 unreachable
 	distSink []int32 // BFS edge distance from the sink; -1 unreachable
 	maxSrc   int32   // largest finite distSrc entry
+	ownSrc   []int32 // pooled storage behind distSrc on uncached runs
+	ownSink  []int32 // pooled storage behind distSink on uncached runs
 	queue    []int32 // BFS worklist, reused by both passes
 
 	// Segment-DP buffers (segmentReach, pathMinRegs, pathMinDelay).
@@ -78,6 +86,7 @@ type Bounds struct {
 	path   []int32   // one BFS shortest path, sink first
 	seedsA []int32   // pathMinRegs wave seed positions (current wave)
 	seedsB []int32   // pathMinRegs wave seed positions (next wave)
+	fifoK  []int32   // pathMinLat: fewest sink-side registers per FIFO site
 	rem    []float64 // remTable: remaining-delay lower bound by distance
 }
 
@@ -91,10 +100,28 @@ type segState struct{ c, d float64 }
 func (s *Scratch) PrepBounds(p *Problem) *Bounds {
 	b := &s.bounds
 	n := p.Grid.NumNodes()
-	b.distSrc = grow(b.distSrc, n)
-	b.distSink = grow(b.distSink, n)
-	b.maxSrc = b.bfs(p, p.Source, b.distSrc)
-	b.bfs(p, p.Sink, b.distSink)
+	b.ownSrc = grow(b.ownSrc, n)
+	b.ownSink = grow(b.ownSink, n)
+	b.maxSrc = b.bfs(p, p.Source, b.ownSrc)
+	b.bfs(p, p.Sink, b.ownSink)
+	b.distSrc, b.distSink = b.ownSrc, b.ownSink
+	return b
+}
+
+// prepBoundsShared is PrepBounds routed through a plan-scoped ShareCache:
+// the BFS distance fields for each endpoint are computed once per (grid,
+// origin) across the whole plan and shared read-only between searches. BFS
+// is model-independent, so the fields are reusable across the planner's
+// width ladder as well as across nets. Falls back to a private PrepBounds
+// when sh is nil or owns a different grid.
+func (s *Scratch) prepBoundsShared(p *Problem, sh *ShareCache) *Bounds {
+	if sh == nil || !sh.owns(p.Grid) {
+		return s.PrepBounds(p)
+	}
+	b := &s.bounds
+	fs := sh.field(p, p.Source, b)
+	ft := sh.field(p, p.Sink, b)
+	b.distSrc, b.distSink, b.maxSrc = fs.dist, ft.dist, fs.maxD
 	return b
 }
 
@@ -344,6 +371,205 @@ func (b *Bounds) pathMinRegs(p *Problem, T float64) (int, bool) {
 		b.seedsA, b.seedsB = seeds, nextSeeds
 	}
 	return done(0, false)
+}
+
+// pathMinLat computes the minimum total latency of a GALS labeling of one
+// BFS shortest path, or ok=false when the path admits none. A GALS path
+// decomposes around its single MCFIFO: k0 relay registers on the sink side
+// (each segment closed within Tt), the FIFO, then k1 relays on the source
+// side (segments within Ts), for a total latency (k0+1)·Tt + (k1+1)·Ts —
+// exactly the kernel's accounting (l grows by T(z) per relay, Tt at the
+// FIFO, Ts at the final source close). The two sides are independent given
+// the FIFO site, and latency is monotone in each register count, so the
+// path optimum is min over FIFO sites f of the per-side register minima.
+//
+// Phase A runs the sink-side wave DP under Tt once, recording in fifoK[f]
+// the fewest registers after which the FIFO can close at f. Phase B groups
+// the sites by that count and runs one source-side wave DP per distinct
+// value, multi-seeded at the class's sites — the first wave that closes
+// into the source register yields the class's k1 minimum.
+//
+// Every labeling the DP accepts is kernel-reachable: gates only at
+// insertable interior nodes (registers and the FIFO additionally require
+// RegisterInsertable), at most one gate per node — a wave's fresh seed is
+// merged after the close and buffer blocks, so the node a register or FIFO
+// occupies is never given a second gate — and each step passes the kernel's
+// own feasibility checks. The returned latency is therefore the latency of
+// a real solution and a sound upper bound for pruneGALS. Cost is
+// O(len·frontier) per wave DP, orders of magnitude below a kernel probe.
+func (b *Bounds) pathMinLat(p *Problem, Ts, Tt float64) (float64, bool) {
+	if !b.shortestPath(p) {
+		return 0, false
+	}
+	g, m := p.Grid, p.Model
+	tc := p.tech()
+	reg, fifo := tc.Register, tc.FIFO
+	minR := tc.MinBufferR()
+	last := len(b.path) - 1
+	maxWaves := len(b.path)
+
+	b.fifoK = grow(b.fifoK, len(b.path))
+	for i := range b.fifoK {
+		b.fifoK[i] = -1
+	}
+
+	seeds := append(b.seedsA[:0], 0) // wave 0 starts at the sink, position 0
+	nextSeeds := b.seedsB[:0]
+	cur, step := b.fa[:0], b.fb[:0]
+	done := func(lat float64, ok bool) (float64, bool) {
+		b.fa, b.fb = cur[:0], step[:0]
+		b.seedsA, b.seedsB = seeds[:0], nextSeeds[:0]
+		return lat, ok
+	}
+
+	// runWave advances one wave of the segment DP across the path under
+	// period T (lookahead slope/limit per the side's cheapest close). At
+	// each interior site it calls visit on the edge-arrived frontier —
+	// close decisions live there — then expands buffers, merges the wave's
+	// seed, and steps the edge. seedState is the electrical state a seed
+	// opens with (the register, or the FIFO on phase B's first wave).
+	runWave := func(T, slope, limit float64, seedState segState, visit func(pos int, st []segState)) {
+		nextSeeds = nextSeeds[:0]
+		cur = cur[:0]
+		si := 0
+		for pos := 0; pos <= last; pos++ {
+			u := int(b.path[pos])
+			interior := pos != 0 && pos != last
+			if len(cur) > 0 {
+				visit(pos, cur)
+				if interior && g.Insertable(u) {
+					if g.RegisterInsertable(u) {
+						for _, s := range cur {
+							if m.DriveInto(reg, s.c, s.d) <= T {
+								if len(nextSeeds) == 0 || nextSeeds[len(nextSeeds)-1] != int32(pos) {
+									nextSeeds = append(nextSeeds, int32(pos))
+								}
+								break
+							}
+						}
+					}
+					n := len(cur)
+					for _, s := range cur[:n] {
+						for bi := range tc.Buffers {
+							bu := tc.Buffers[bi]
+							c2, d2 := m.AddGate(bu, s.c, s.d)
+							if d2+slope*c2 <= limit {
+								cur = appendState(cur, segState{c2, d2})
+							}
+						}
+					}
+				}
+			}
+			if si < len(seeds) && seeds[si] == int32(pos) {
+				cur = appendState(cur, seedState)
+				si++
+			}
+			if len(cur) == 0 || pos == last {
+				continue
+			}
+			step = step[:0]
+			for _, s := range cur {
+				c2, d2 := m.AddEdge(s.c, s.d)
+				if d2+slope*c2 <= limit {
+					step = appendState(step, segState{c2, d2})
+				}
+			}
+			cur, step = step, cur
+		}
+	}
+
+	// Phase A: sink-side waves under Tt. The side's segments may close into
+	// a relay register or the FIFO, so viability uses the cheaper of the
+	// two closes — exactly the sink-domain reach's closeK/closeR.
+	slopeT := math.Min(minR, fifo.R)
+	limitT := Tt - math.Min(reg.K, fifo.K)
+	maxK := int32(-1)
+	for w := 0; w < maxWaves; w++ {
+		runWave(Tt, slopeT, limitT, segState{reg.C, reg.Setup}, func(pos int, st []segState) {
+			if pos == 0 || pos == last || b.fifoK[pos] >= 0 {
+				return
+			}
+			u := int(b.path[pos])
+			if !g.Insertable(u) || !g.RegisterInsertable(u) {
+				return
+			}
+			for _, s := range st {
+				if m.DriveInto(fifo, s.c, s.d) <= Tt {
+					b.fifoK[pos] = int32(w)
+					if int32(w) > maxK {
+						maxK = int32(w)
+					}
+					return
+				}
+			}
+		})
+		if len(nextSeeds) == 0 {
+			break
+		}
+		seeds, nextSeeds = nextSeeds, seeds
+		b.seedsA, b.seedsB = seeds, nextSeeds
+	}
+	if maxK < 0 {
+		return done(0, false) // no feasible FIFO site on this path
+	}
+
+	// Phase B: one source-side DP per distinct sink-side register count,
+	// seeded at every FIFO site of that class. Classes and waves that can
+	// no longer beat the best latency found are skipped.
+	best := math.Inf(1)
+	slopeS := minR
+	limitS := Ts - reg.K
+	for k := int32(0); k <= maxK; k++ {
+		base := float64(k+1)*Tt + Ts
+		if base >= best {
+			break // latency grows with k; later classes only cost more
+		}
+		nextSeeds = nextSeeds[:0]
+		for pos, fk := range b.fifoK {
+			if fk == k {
+				nextSeeds = append(nextSeeds, int32(pos))
+			}
+		}
+		if len(nextSeeds) == 0 {
+			continue
+		}
+		seeds, nextSeeds = nextSeeds, seeds
+		b.seedsA, b.seedsB = seeds, nextSeeds
+		seedState := segState{fifo.C, fifo.Setup}
+		for w := 0; w < maxWaves; w++ {
+			if base+float64(w)*Ts >= best {
+				break
+			}
+			closed := false
+			runWave(Ts, slopeS, limitS, seedState, func(pos int, st []segState) {
+				if pos != last || closed {
+					return
+				}
+				for _, s := range st {
+					if m.DriveInto(reg, s.c, s.d) <= Ts {
+						closed = true
+						return
+					}
+				}
+			})
+			if closed {
+				if lat := base + float64(w)*Ts; lat < best {
+					best = lat
+				}
+				break
+			}
+			if len(nextSeeds) == 0 {
+				break
+			}
+			seeds, nextSeeds = nextSeeds, seeds
+			b.seedsA, b.seedsB = seeds, nextSeeds
+			seedState = segState{reg.C, reg.Setup}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return done(0, false)
+	}
+	return done(best, true)
 }
 
 // pathMinDelay runs FastPath's segment DP along one BFS shortest path and

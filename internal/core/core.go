@@ -184,6 +184,28 @@ type Options struct {
 	// a non-nil return aborts the search with that error wrapped in
 	// ErrAborted. Route installs a context check here.
 	Abort func() error
+	// DisablePackedTie turns off the packed uint64 tie-key fast path in the
+	// wavefront heaps, falling back to the full candidateTieLess comparator
+	// on every equal-key compare. The packed key is an order-preserving
+	// prefix of the same comparator, so results are byte-identical either
+	// way — the switch exists so the equivalence harness can prove exactly
+	// that, and for ablation benchmarks of the tie-ordering tax.
+	DisablePackedTie bool
+	// Share, when non-nil, is a plan-scoped cache of reusable bound
+	// artifacts (BFS distance fields, segment reaches, remainder tables,
+	// probed incumbents) shared by every net routed against the same grid.
+	// All cached values are deterministic pure functions of the problem, so
+	// a search that hits the cache returns byte-identical results and
+	// byte-identical stats to one that recomputes. The cache is safe for
+	// concurrent searches; it must not be reused after the grid mutates.
+	Share *ShareCache
+	// DisableSharing stops the planner's batch layers from creating a
+	// plan-scoped ShareCache and from memoizing results of canonically
+	// equal nets. The kernels never consult it — an explicitly provided
+	// Share is still used — so it is the one switch that turns every
+	// cross-net reuse path off, for ablations and for the differential
+	// harness proving sharing changes nothing.
+	DisableSharing bool
 }
 
 // abortStride is how many popped candidates go between polls of the

@@ -34,21 +34,30 @@ func GALS(p *Problem, Ts, Tt float64, opts Options) (res *Result, err error) {
 
 // galsBounds prepares the admissible-bound state for GALS: BFS distance
 // fields, per-domain segment reaches (source-side segments may start from
-// the FIFO; sink-side segments may close into it), and a latency incumbent
-// from a windowed probe run. GALS has no single-path incumbent DP — FIFO
-// placement couples the two domains along the path — so the corridor probe
-// is its primary incumbent source. Probe budget exhaustion just means no
-// incumbent; only a caller-requested abort propagates.
+// the FIFO; sink-side segments may close into it), and a latency incumbent.
+// The incumbent comes from pathMinLat — the exact GALS segment DP along one
+// BFS shortest path, which decouples the FIFO's domain coupling by solving
+// the two sides independently per FIFO site — and costs microseconds where
+// the corridor probe costs thousands of kernel configs; the probe remains
+// as a fallback for paths that admit no labeling. Probe budget exhaustion
+// just means no incumbent; only a caller-requested abort propagates.
 func galsBounds(p *Problem, Ts, Tt float64, opts Options, sc *Scratch) (bd *Bounds, reachS, reachT int, maxLat float64, probeConfigs int, err error) {
-	bd = sc.PrepBounds(p)
+	sh := opts.Share
+	bd = sc.prepBoundsShared(p, sh)
 	tc := p.tech()
 	fifo := tc.FIFO
 	minR := tc.MinBufferR()
-	reachS = bd.segmentReach(p.Model, Ts, int(bd.maxSrc), &fifo, tc.Register.K, minR)
-	reachT = bd.segmentReach(p.Model, Tt, int(bd.maxSrc), nil,
+	reachS = bd.segmentReachShared(sh, p, p.Model, Ts, int(bd.maxSrc), true, tc.Register.K, minR)
+	reachT = bd.segmentReachShared(sh, p, p.Model, Tt, int(bd.maxSrc), false,
 		math.Min(tc.Register.K, fifo.K), math.Min(minR, fifo.R))
+	if inc, ok := sh.galsIncumbent(p, Ts, Tt); ok {
+		return bd, reachS, reachT, inc.maxLat, inc.probeConfigs, nil
+	}
 	maxLat = math.Inf(1)
-	if dist0 := bd.distSrc[p.Sink]; dist0 >= 0 {
+	clean := true // an injured probe's outcome must not be published
+	if lat, ok := bd.pathMinLat(p, Ts, Tt); ok {
+		maxLat = lat + latencyEps
+	} else if dist0 := bd.distSrc[p.Sink]; dist0 >= 0 {
 		pres, perr := gals(p, Ts, Tt, probeOptions(opts, dist0), sc, bd.window(p))
 		sc.resetSearchState()
 		switch {
@@ -57,7 +66,12 @@ func galsBounds(p *Problem, Ts, Tt float64, opts Options, sc *Scratch) (bd *Boun
 			probeConfigs = pres.Stats.Configs
 		case errors.Is(perr, ErrAborted) && outerAbortPending(opts):
 			return nil, 0, 0, 0, 0, perr
+		default:
+			clean = false
 		}
+	}
+	if clean {
+		sh.storeGALSIncumbent(p, Ts, Tt, incGALS{maxLat, probeConfigs})
 	}
 	return bd, reachS, reachT, maxLat, probeConfigs, nil
 }
@@ -69,6 +83,7 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch, win *window) (*
 	start := time.Now()
 	// Content-determined pop order among equal keys; see bounds.go.
 	sc.Q.Tie, sc.QStar.Tie = candidateTieLess, candidateTieLess
+	sc.SetPackedTie(!opts.DisablePackedTie)
 
 	var bd *Bounds
 	reachS, reachT, probeConfigs := 0, 0, 0
@@ -111,19 +126,28 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch, win *window) (*
 
 	res := &Result{}
 	res.Stats.ProbeConfigs = probeConfigs
-	// Bound pruning happens at pushQ only — after Q*'s equal-latency
+	// Bound pruning happens at admitQ only — after Q*'s equal-latency
 	// wavefront extraction, never before it — so pruning cannot regroup the
 	// eps-bucketed wavefronts and perturb cross-wave dominance epochs.
-	pushQ := func(c *candidate.Candidate) {
+	//
+	// The push is split in two so expansion sites can run the bound checks
+	// on scalars *before* paying Arena.New's 64-byte candidate copy: admitQ
+	// decides viability from (node, z, l) alone, enterQ dominance-checks
+	// and queues an already-allocated candidate. Stats and faultpoint
+	// ordering are exactly the old single pushQ's.
+	admitQ := func(node int32, z uint8, l float64) bool {
 		faultpoint.Must("core.wave_push")
-		if win != nil && !win.allows(c.Node) {
+		if win != nil && !win.allows(node) {
 			res.Stats.BoundPruned++
-			return
+			return false
 		}
-		if bd != nil && bd.pruneGALS(c.Node, c.Z, c.L, Ts, Tt, reachS, reachT, maxLat) {
+		if bd != nil && bd.pruneGALS(node, z, l, Ts, Tt, reachS, reachT, maxLat) {
 			res.Stats.BoundPruned++
-			return
+			return false
 		}
+		return true
+	}
+	enterQ := func(c *candidate.Candidate) {
 		if !opts.DisablePruning {
 			if !stores[c.Z].Insert(c) {
 				res.Stats.Pruned++
@@ -145,7 +169,9 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch, win *window) (*
 	}
 
 	init := sc.Arena.New(p.initialCandidate()) // (C(r), Setup(r), m', t, z=0, l=0)
-	pushQ(init)
+	if admitQ(init.Node, init.Z, init.L) {
+		enterQ(init)
+	}
 	if opts.Trace != nil {
 		opts.Trace.WaveStart(0, 0)
 	}
@@ -165,7 +191,9 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch, win *window) (*
 				opts.Trace.WaveStart(res.Stats.Waves-1, l)
 			}
 			for _, c := range sc.Buf {
-				pushQ(c)
+				if admitQ(c.Node, c.Z, c.L) {
+					enterQ(c)
+				}
 			}
 			continue
 		}
@@ -196,17 +224,21 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch, win *window) (*
 		}
 
 		// Step 5: extend across each live edge under the current domain's
-		// period.
-		g.ForNeighbors(u, func(v int) {
-			c2, d2 := m.AddEdge(c.C, c.D)
-			if d2 > T(c.Z) {
-				return
-			}
-			pushQ(sc.Arena.New(candidate.Candidate{
-				C: c2, D: d2, L: c.L, Node: int32(v),
-				Gate: candidate.GateNone, Z: c.Z, Regs: c.Regs, Parent: c,
-			}))
-		})
+		// period. The segment period and the edge step depend only on the
+		// popped candidate, so both are hoisted out of the neighbor loop.
+		tz := T(c.Z)
+		ec, ed := m.AddEdge(c.C, c.D)
+		if ed <= tz {
+			g.ForNeighbors(u, func(v int) {
+				if !admitQ(int32(v), c.Z, c.L) {
+					return
+				}
+				enterQ(sc.Arena.New(candidate.Candidate{
+					C: ec, D: ed, L: c.L, Node: int32(v),
+					Gate: candidate.GateNone, Z: c.Z, Regs: c.Regs, Parent: c,
+				}))
+			})
+		}
 
 		// The endpoints are excluded from insertion: m(s) and m(t) are
 		// fixed to the port registers.
@@ -219,10 +251,13 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch, win *window) (*
 		for bi := range tc.Buffers {
 			b := tc.Buffers[bi]
 			c2, d2 := m.AddGate(b, c.C, c.D)
-			if d2 > T(c.Z) {
+			if d2 > tz {
 				continue
 			}
-			pushQ(sc.Arena.New(candidate.Candidate{
+			if !admitQ(c.Node, c.Z, c.L) {
+				continue
+			}
+			enterQ(sc.Arena.New(candidate.Candidate{
 				C: c2, D: d2, L: c.L, Node: c.Node,
 				Gate: candidate.Gate(bi), Z: c.Z, Regs: c.Regs, Parent: c,
 			}))
@@ -234,10 +269,10 @@ func gals(p *Problem, Ts, Tt float64, opts Options, sc *Scratch, win *window) (*
 
 		// Step 8: insert a register (relay station); stays in domain z,
 		// latency grows by that domain's period.
-		if !regDone[c.Z].Has(u) && m.DriveInto(reg, c.C, c.D) <= T(c.Z) {
+		if !regDone[c.Z].Has(u) && m.DriveInto(reg, c.C, c.D) <= tz {
 			regDone[c.Z].Set(u)
 			pushQstar(sc.Arena.New(candidate.Candidate{
-				C: reg.C, D: reg.Setup, L: c.L + T(c.Z), Node: c.Node,
+				C: reg.C, D: reg.Setup, L: c.L + tz, Node: c.Node,
 				Gate: candidate.GateRegister, Z: c.Z, Regs: c.Regs + 1, Parent: c,
 			}))
 		}

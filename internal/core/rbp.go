@@ -224,10 +224,15 @@ func RBP(p *Problem, T float64, opts Options) (res *Result, err error) {
 // out of its private budget just means no incumbent; only an abort the
 // caller itself requested propagates as err.
 func rbpBounds(p *Problem, T float64, opts Options, sc *Scratch) (bd *Bounds, reach, maxWave, probeConfigs int, err error) {
-	bd = sc.PrepBounds(p)
+	sh := opts.Share
+	bd = sc.prepBoundsShared(p, sh)
 	tc := p.tech()
-	reach = bd.segmentReach(p.Model, T, int(bd.maxSrc), nil, tc.Register.K, tc.MinBufferR())
+	reach = bd.segmentReachShared(sh, p, p.Model, T, int(bd.maxSrc), false, tc.Register.K, tc.MinBufferR())
+	if inc, ok := sh.rbpIncumbent(p, T); ok {
+		return bd, reach, inc.maxWave, inc.probeConfigs, nil
+	}
 	maxWave = noIncumbent
+	clean := true // an injured probe's outcome must not be published
 	if u, ok := bd.pathMinRegs(p, T); ok {
 		maxWave = u
 	} else if dist0 := bd.distSrc[p.Sink]; dist0 >= 0 {
@@ -239,7 +244,12 @@ func rbpBounds(p *Problem, T float64, opts Options, sc *Scratch) (bd *Bounds, re
 			probeConfigs = pres.Stats.Configs
 		case errors.Is(perr, ErrAborted) && outerAbortPending(opts):
 			return nil, 0, 0, 0, perr
+		default:
+			clean = false
 		}
+	}
+	if clean {
+		sh.storeRBPIncumbent(p, T, incRBP{maxWave, probeConfigs})
 	}
 	return bd, reach, maxWave, probeConfigs, nil
 }
@@ -250,6 +260,7 @@ func rbp(p *Problem, T float64, opts Options, sc *Scratch, win *window) (*Result
 	}
 	start := time.Now()
 	sc.Q.Tie = candidateTieLess // content-determined pop order; see bounds.go
+	sc.SetPackedTie(!opts.DisablePackedTie)
 	res := &Result{}
 	var bd *Bounds
 	reach, maxWave, probeConfigs := 0, 0, 0
@@ -352,6 +363,7 @@ func rbpArrayQueues(p *Problem, T float64, opts Options, sc *Scratch) (*Result, 
 		return nil, fmt.Errorf("core: non-positive clock period %g", T)
 	}
 	start := time.Now()
+	sc.SetPackedTie(!opts.DisablePackedTie)
 	res := &Result{}
 	var bd *Bounds
 	reach, maxWave, probeConfigs := 0, 0, 0

@@ -45,6 +45,11 @@ type Scratch struct {
 	flags  [3]nodeFlags
 	waves  []*pqueue.Heap[*candidate.Candidate]
 
+	// packedTie records whether the packed uint64 tie-key fast path is
+	// installed on the heaps, so lazily created wave heaps inherit the
+	// same setting mid-search. See SetPackedTie.
+	packedTie bool
+
 	// bounds holds the pooled A*-pruning state (BFS distance fields,
 	// segment-DP buffers); see PrepBounds in bounds.go.
 	bounds Bounds
@@ -61,9 +66,36 @@ func GetScratch() *Scratch {
 	sc.QStar.Reset()
 	sc.Q.Tie = candidateTieLess
 	sc.QStar.Tie = candidateTieLess
+	sc.SetPackedTie(true)
 	sc.Buf = sc.Buf[:0]
 	sc.ResetWaves()
 	return sc
+}
+
+// SetPackedTie installs (or removes) the packed tie-key fast path on every
+// heap the scratch owns, including wave heaps created later in the same
+// search. The packed keys are order-preserving prefixes of candidateTieLess
+// under each heap's key discipline — Q and the wave heaps are keyed by the
+// candidate's accumulated delay D, so equal keys imply equal D and the
+// prefix is (Node, C); GALS's Q* is keyed by latency L, so its prefix is
+// (Node, D) — which keeps pop order, and therefore results, byte-identical
+// to the full comparator. Kernels call this with !opts.DisablePackedTie
+// before their first push.
+func (s *Scratch) SetPackedTie(on bool) {
+	s.packedTie = on
+	if on {
+		s.Q.TieKey = tieKeyNodeC
+		s.QStar.TieKey = tieKeyNodeD
+		for _, h := range s.waves {
+			h.TieKey = tieKeyNodeC
+		}
+		return
+	}
+	s.Q.TieKey = nil
+	s.QStar.TieKey = nil
+	for _, h := range s.waves {
+		h.TieKey = nil
+	}
 }
 
 // resetSearchState rewinds the search structures mutated by a windowed
@@ -151,7 +183,11 @@ func (s *Scratch) prepFlags(i, n int) *nodeFlags {
 // heaps all live simultaneously.
 func (s *Scratch) Wave(w int) *pqueue.Heap[*candidate.Candidate] {
 	for len(s.waves) <= w {
-		s.waves = append(s.waves, &pqueue.Heap[*candidate.Candidate]{Tie: candidateTieLess})
+		h := &pqueue.Heap[*candidate.Candidate]{Tie: candidateTieLess}
+		if s.packedTie {
+			h.TieKey = tieKeyNodeC
+		}
+		s.waves = append(s.waves, h)
 	}
 	return s.waves[w]
 }

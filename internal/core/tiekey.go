@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+
+	"clockroute/internal/candidate"
+)
+
+// Packed tie keys.
+//
+// candidateTieLess orders equal-key heap entries by
+// (Node, D, C, Gate, Regs, Z, Slack, L). Every heap in the search core
+// pushes under a fixed key discipline: Q, RBP's array-of-queues waves, and
+// the latch router's wave heaps are keyed by the candidate's accumulated
+// delay D, and GALS's Q* is keyed by the candidate's latency L. The heap
+// consults the tie order only on *exact* key equality, so on a D-keyed heap
+// the D comparison inside candidateTieLess is always a no-op and the
+// effective order starts (Node, C, ...); on the L-keyed Q* it starts
+// (Node, D, ...).
+//
+// That lets a single uint64 — the node ID in the high 32 bits and a
+// monotone 32-bit projection of the first float field in the low 32 —
+// decide almost every tie with one integer compare instead of a
+// multi-field comparator call across two cache lines. The projection is
+// order-preserving, not injective: when two packed keys collide the heap
+// falls back to the full comparator, so pop order (and therefore every
+// routed result) is byte-identical with the fast path on or off.
+
+// tieBits32 maps f to a uint32 that preserves the < order of float64s:
+// a < b implies tieBits32(a) <= tieBits32(b), and tieBits32(a) <
+// tieBits32(b) implies a < b. Negative zero is collapsed onto positive
+// zero first, because IEEE equality makes candidateTieLess treat them as
+// the same value. The mapping is the usual sign-magnitude fix-up — flip
+// all bits of negatives, set the sign bit of non-negatives — truncated to
+// the top 32 bits.
+func tieBits32(f float64) uint32 {
+	if f == 0 {
+		f = 0 // collapse -0 onto +0
+	}
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		b = ^b
+	} else {
+		b |= 1 << 63
+	}
+	return uint32(b >> 32)
+}
+
+// tieKeyNodeC packs (Node, C) — the tie prefix for every D-keyed heap.
+// Node IDs are non-negative, so the int32→uint32 cast is monotone.
+func tieKeyNodeC(c *candidate.Candidate) uint64 {
+	return uint64(uint32(c.Node))<<32 | uint64(tieBits32(c.C))
+}
+
+// tieKeyNodeD packs (Node, D) — the tie prefix for GALS's L-keyed Q*.
+func tieKeyNodeD(c *candidate.Candidate) uint64 {
+	return uint64(uint32(c.Node))<<32 | uint64(tieBits32(c.D))
+}

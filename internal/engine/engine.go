@@ -120,3 +120,56 @@ func MapIndexed[T any](ctx context.Context, workers, n int, fn func(ctx context.
 	wg.Wait()
 	return out
 }
+
+// StreamRecover maps fn over values arriving on `in` across up to `workers`
+// goroutines, delivering each result to `out` as soon as it is ready. It is
+// the unbounded-batch counterpart of MapIndexedRecover: tasks are claimed by
+// receiving from the channel, results arrive in completion order (not
+// submission order), and a panicking task is recovered on its worker and
+// replaced by onPanic(v, r, stack) instead of killing the pool. The
+// engine.task failpoint fires before each task, as in the batch path.
+//
+// out is called under an internal mutex — implementations may write to a
+// shared encoder without their own locking — and never concurrently with a
+// task's own fn on the same value. StreamRecover returns the number of
+// values consumed, after every in-flight task has delivered its result; the
+// caller signals completion by closing `in`. Cancellation is cooperative
+// exactly as in Map: fn observes ctx and is expected to fail fast, so a
+// canceled stream still drains the channel (each remaining value gets a
+// fast-failing result) rather than stranding the sender.
+func StreamRecover[T, R any](ctx context.Context, workers int, in <-chan T, fn func(ctx context.Context, worker int, v T) R, out func(R), onPanic func(v T, r any, stack []byte) R) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var mu sync.Mutex
+	var consumed atomic.Int64
+	run := func(ctx context.Context, worker int, v T) (r R) {
+		defer func() {
+			if p := recover(); p != nil {
+				r = onPanic(v, p, debug.Stack())
+			}
+		}()
+		faultpoint.Must("engine.task")
+		return fn(ctx, worker, v)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			pprof.SetGoroutineLabels(ctx)
+			for v := range in {
+				consumed.Add(1)
+				r := run(ctx, worker, v)
+				mu.Lock()
+				out(r)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return int(consumed.Load())
+}

@@ -100,6 +100,7 @@ func Route(p *core.Problem, T float64, l tech.Element, maxCycles int, opts core.
 	// deepening quarantines the scratch (its invariants are suspect) and
 	// surfaces as a core.ErrInternal instead of killing the process.
 	sc := core.GetScratch()
+	sc.SetPackedTie(!opts.DisablePackedTie)
 	defer func() {
 		if r := recover(); r != nil {
 			sc.Quarantine()

@@ -451,6 +451,16 @@ func (pl *Planner) RunParallel(ctx context.Context, workers int, specs []NetSpec
 	if workers > 1 {
 		opts.Trace = core.SynchronizedTracer(opts.Trace)
 	}
+	// Cross-net reuse: one ShareCache for the whole plan (bound artifacts
+	// flow between nets) and whole-result memoization for canonically equal
+	// specs. Both are plan-scoped, so nothing leaks between requests, and
+	// both preserve byte-identical results; Options.DisableSharing turns
+	// them off. PlanNetsExclusive never comes through here — it mutates its
+	// grid between nets, which invalidates every premise of the cache.
+	bs := newBatchState(pl.g, opts)
+	if bs != nil {
+		opts.Share = bs.share
+	}
 	sink := opts.Telemetry
 	if sink != nil {
 		for _, s := range specs {
@@ -466,10 +476,12 @@ func (pl *Planner) RunParallel(ctx context.Context, workers int, specs []NetSpec
 	// telemetry, a bug in this package) fails that one net instead of
 	// crashing the whole batch on a bare worker goroutine.
 	nets := engine.MapIndexedRecover(ctx, workers, len(specs), func(ctx context.Context, worker, i int) NetResult {
-		if sink == nil {
-			return pl.routeNet(ctx, specs[i], opts)
-		}
-		return pl.routeNetTraced(ctx, specs[i], opts, worker)
+		return bs.route(specs[i], func() NetResult {
+			if sink == nil {
+				return pl.routeNet(ctx, specs[i], opts)
+			}
+			return pl.routeNetTraced(ctx, specs[i], opts, worker)
+		})
 	}, func(i int, v any, stack []byte) NetResult {
 		return NetResult{
 			Spec:     specs[i],

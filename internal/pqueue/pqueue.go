@@ -3,10 +3,20 @@
 // helper that pulls a whole equal-key wavefront (used by GALS's Q*).
 package pqueue
 
+// entry is one heap slot's ordering state: the float64 priority and the
+// packed tie key. Keeping them adjacent means an ordering compare usually
+// touches one cache line per slot instead of two parallel arrays; the
+// values themselves live in a separate array and are only read on the
+// (rare) full-comparator fallback.
+type entry struct {
+	key float64
+	tk  uint64
+}
+
 // Heap is a binary min-heap of values keyed by float64 priorities.
 // The zero value is an empty heap ready to use.
 type Heap[T any] struct {
-	keys []float64
+	ents []entry
 	vals []T
 
 	// Tie, when non-nil, breaks exact key equality: among equal-key items
@@ -18,53 +28,76 @@ type Heap[T any] struct {
 	// exactly the order the unpruned search would. Tie is consulted only on
 	// exact float64 equality, so it costs nothing on distinct keys.
 	Tie func(a, b T) bool
+
+	// TieKey, when non-nil, supplies a packed uint64 prefix of the Tie
+	// order: for any values a, b queued under equal keys, tk(a) < tk(b)
+	// must imply Tie(a, b) and tk(a) > tk(b) must imply Tie(b, a); only on
+	// tk(a) == tk(b) is the full Tie comparator consulted. The key is
+	// computed once at Push and compared with a single integer compare in
+	// the hot sift paths, replacing most multi-field comparator calls.
+	// When TieKey is nil every packed key is zero and ordering falls
+	// through to Tie exactly as before. Set TieKey (like Tie) only while
+	// the heap is empty.
+	TieKey func(v T) uint64
 }
 
-// less orders heap slots i and j by (key, Tie) lexicographically.
+// less orders heap slots i and j by (key, packed tie key, Tie)
+// lexicographically. With TieKey installed the packed compare resolves
+// almost every exact-key tie without touching the values array; with it
+// nil both packed keys are zero and the full Tie comparator decides, as
+// before.
 func (h *Heap[T]) less(i, j int) bool {
-	if h.keys[i] != h.keys[j] {
-		return h.keys[i] < h.keys[j]
+	a, b := &h.ents[i], &h.ents[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.tk != b.tk {
+		return a.tk < b.tk
 	}
 	return h.Tie != nil && h.Tie(h.vals[i], h.vals[j])
 }
 
 // Len returns the number of queued items.
-func (h *Heap[T]) Len() int { return len(h.keys) }
+func (h *Heap[T]) Len() int { return len(h.ents) }
 
 // Reset empties the heap, keeping the allocated storage.
 func (h *Heap[T]) Reset() {
-	h.keys = h.keys[:0]
+	h.ents = h.ents[:0]
 	h.vals = h.vals[:0]
 }
 
 // Push inserts v with priority key.
 func (h *Heap[T]) Push(key float64, v T) {
-	h.keys = append(h.keys, key)
+	var tk uint64
+	if h.TieKey != nil {
+		tk = h.TieKey(v)
+	}
+	h.ents = append(h.ents, entry{key, tk})
 	h.vals = append(h.vals, v)
-	h.up(len(h.keys) - 1)
+	h.up(len(h.ents) - 1)
 }
 
 // Peek returns the minimum-key item without removing it.
 func (h *Heap[T]) Peek() (key float64, v T, ok bool) {
-	if len(h.keys) == 0 {
+	if len(h.ents) == 0 {
 		var zero T
 		return 0, zero, false
 	}
-	return h.keys[0], h.vals[0], true
+	return h.ents[0].key, h.vals[0], true
 }
 
 // Pop removes and returns the minimum-key item.
 func (h *Heap[T]) Pop() (key float64, v T, ok bool) {
-	if len(h.keys) == 0 {
+	if len(h.ents) == 0 {
 		var zero T
 		return 0, zero, false
 	}
-	key, v = h.keys[0], h.vals[0]
-	last := len(h.keys) - 1
-	h.keys[0], h.vals[0] = h.keys[last], h.vals[last]
+	key, v = h.ents[0].key, h.vals[0]
+	last := len(h.ents) - 1
+	h.ents[0], h.vals[0] = h.ents[last], h.vals[last]
 	var zero T
 	h.vals[last] = zero // release reference for GC
-	h.keys, h.vals = h.keys[:last], h.vals[:last]
+	h.ents, h.vals = h.ents[:last], h.vals[:last]
 	if last > 0 {
 		h.down(0)
 	}
@@ -103,7 +136,7 @@ func (h *Heap[T]) up(i int) {
 }
 
 func (h *Heap[T]) down(i int) {
-	n := len(h.keys)
+	n := len(h.ents)
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
@@ -122,6 +155,6 @@ func (h *Heap[T]) down(i int) {
 }
 
 func (h *Heap[T]) swap(i, j int) {
-	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.ents[i], h.ents[j] = h.ents[j], h.ents[i]
 	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
 }

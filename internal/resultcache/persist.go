@@ -79,51 +79,66 @@ func writeRecord(w *bufio.Writer, k Key, payload []byte) error {
 	return err
 }
 
-// ReadSegment replays one segment into the cache through dec, which turns
-// a payload back into a live value and its accounted size. It returns the
-// number of records loaded; a truncated or corrupt tail returns what
-// loaded before it along with ErrCorruptSegment.
-func ReadSegment(r io.Reader, c *Cache, dec func(k Key, payload []byte) (any, int64, error)) (entries int, err error) {
+// ScanSegment streams every record in one segment to fn, in file order,
+// without needing a live cache — offline tooling (`routed cache diff`)
+// reads snapshots through this. fn owns the payload slice. An error from
+// fn aborts the scan and is returned as-is; a truncated or corrupt tail
+// returns ErrCorruptSegment after every intact record before it was seen.
+func ScanSegment(r io.Reader, fn func(k Key, payload []byte) error) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(segMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
-		return 0, fmt.Errorf("%w: bad magic", ErrCorruptSegment)
+		return fmt.Errorf("%w: bad magic", ErrCorruptSegment)
 	}
 	for {
 		var k Key
 		if _, err := io.ReadFull(br, k[:]); err != nil {
 			if err == io.EOF {
-				return entries, nil // clean end
+				return nil // clean end
 			}
-			return entries, fmt.Errorf("%w: truncated key", ErrCorruptSegment)
+			return fmt.Errorf("%w: truncated key", ErrCorruptSegment)
 		}
 		var hdr [8]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return entries, fmt.Errorf("%w: truncated header", ErrCorruptSegment)
+			return fmt.Errorf("%w: truncated header", ErrCorruptSegment)
 		}
 		n := binary.BigEndian.Uint32(hdr[:4])
 		if n > maxPayload {
-			return entries, fmt.Errorf("%w: payload length %d", ErrCorruptSegment, n)
+			return fmt.Errorf("%w: payload length %d", ErrCorruptSegment, n)
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return entries, fmt.Errorf("%w: truncated payload", ErrCorruptSegment)
+			return fmt.Errorf("%w: truncated payload", ErrCorruptSegment)
 		}
 		crc := crc32.NewIEEE()
 		crc.Write(k[:])
 		crc.Write(payload)
 		if crc.Sum32() != binary.BigEndian.Uint32(hdr[4:]) {
-			return entries, fmt.Errorf("%w: crc mismatch", ErrCorruptSegment)
+			return fmt.Errorf("%w: crc mismatch", ErrCorruptSegment)
 		}
-		v, size, err := dec(k, payload)
-		if err != nil {
+		if err := fn(k, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadSegment replays one segment into the cache through dec, which turns
+// a payload back into a live value and its accounted size. It returns the
+// number of records loaded; a truncated or corrupt tail returns what
+// loaded before it along with ErrCorruptSegment.
+func ReadSegment(r io.Reader, c *Cache, dec func(k Key, payload []byte) (any, int64, error)) (entries int, err error) {
+	err = ScanSegment(r, func(k Key, payload []byte) error {
+		v, size, derr := dec(k, payload)
+		if derr != nil {
 			// A record the decoder rejects (e.g. an envelope from a newer
 			// build) is skipped, not fatal: the rest of the segment is fine.
-			continue
+			return nil
 		}
 		c.Put(k, v, size)
 		entries++
-	}
+		return nil
+	})
+	return entries, err
 }
 
 // SnapshotDir appends the next numbered segment file to dir, creating the
@@ -200,6 +215,43 @@ func LoadDir(dir string, c *Cache, dec func(k Key, payload []byte) (any, int64, 
 		}
 	}
 	return entries, firstErr
+}
+
+// ScanDir streams every record of every segment in dir through fn in
+// replay order — the order LoadDir applies them, so a consumer that keeps
+// the last record per key reconstructs exactly the state a load would
+// build. A missing directory scans nothing. Corrupt segments contribute
+// their readable prefix and the first corruption error is returned after
+// all segments are processed; an error from fn aborts the scan at once.
+func ScanDir(dir string, fn func(k Key, payload []byte) error) error {
+	segs, serr := segmentFiles(dir)
+	if serr != nil {
+		if errors.Is(serr, os.ErrNotExist) {
+			return nil
+		}
+		return serr
+	}
+	var firstErr error
+	for _, seg := range segs {
+		f, err := os.Open(seg)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		err = ScanSegment(f, fn)
+		f.Close()
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSegment) {
+				return err // fn aborted
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", seg, err)
+			}
+		}
+	}
+	return firstErr
 }
 
 // segmentNumber parses a segment path's sequence number, reporting false

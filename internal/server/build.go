@@ -74,17 +74,36 @@ func buildPlan(req *api.PlanRequest, tc *tech.Tech, sink telemetry.Sink) (*plann
 		return nil, nil, fmt.Errorf("server: planner: %w", err)
 	}
 	specs := make([]planner.NetSpec, len(req.Nets))
-	for i, n := range req.Nets {
-		specs[i] = planner.NetSpec{
-			Name:        n.Name,
-			Src:         geom.Pt(n.Src.X, n.Src.Y),
-			Dst:         geom.Pt(n.Dst.X, n.Dst.Y),
-			SrcPeriodPS: n.SrcPeriodPS,
-			DstPeriodPS: n.DstPeriodPS,
-			WireWidths:  n.WireWidths,
-		}
+	for i := range req.Nets {
+		specs[i] = specFromNet(&req.Nets[i])
 	}
 	return pl, specs, nil
+}
+
+// buildStreamPlanner is buildPlan for the NDJSON transport, where the nets
+// are not known yet: just the planner over the header's grid.
+func buildStreamPlanner(spec *api.GridSpec, tc *tech.Tech, sink telemetry.Sink) (*planner.Planner, error) {
+	g, err := buildGrid(spec)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := planner.NewFromGrid(g, tc, core.Options{Telemetry: sink})
+	if err != nil {
+		return nil, fmt.Errorf("server: planner: %w", err)
+	}
+	return pl, nil
+}
+
+// specFromNet converts one wire net into a planner spec.
+func specFromNet(n *api.NetSpec) planner.NetSpec {
+	return planner.NetSpec{
+		Name:        n.Name,
+		Src:         geom.Pt(n.Src.X, n.Src.Y),
+		Dst:         geom.Pt(n.Dst.X, n.Dst.Y),
+		SrcPeriodPS: n.SrcPeriodPS,
+		DstPeriodPS: n.DstPeriodPS,
+		WireWidths:  n.WireWidths,
+	}
 }
 
 // GateName renders a gate label for the wire: "" for plain wire, "reg",
@@ -188,19 +207,19 @@ func netResultOnWire(n *planner.NetResult, g *grid.Grid) api.NetResult {
 // planStatsOnWire renders a batch's aggregate stats. They reflect work
 // actually performed this request; cached nets contribute nothing here
 // beyond the NetsRouted adjustment the handler applies.
-func planStatsOnWire(plan *planner.Plan) api.PlanStats {
+func planStatsOnWire(st planner.PlanStats) api.PlanStats {
 	return api.PlanStats{
-		Workers:           plan.Stats.Workers,
-		NetsRouted:        plan.Stats.NetsRouted,
-		NetsFailed:        plan.Stats.NetsFailed,
-		TotalConfigs:      plan.Stats.TotalConfigs,
-		TotalPushed:       plan.Stats.TotalPushed,
-		TotalPruned:       plan.Stats.TotalPruned,
-		TotalBoundPruned:  plan.Stats.TotalBoundPruned,
-		TotalProbeConfigs: plan.Stats.TotalProbeConfigs,
-		TotalWaves:        plan.Stats.TotalWaves,
-		MaxQSize:          plan.Stats.MaxQSize,
-		ElapsedNS:         plan.Stats.Elapsed.Nanoseconds(),
+		Workers:           st.Workers,
+		NetsRouted:        st.NetsRouted,
+		NetsFailed:        st.NetsFailed,
+		TotalConfigs:      st.TotalConfigs,
+		TotalPushed:       st.TotalPushed,
+		TotalPruned:       st.TotalPruned,
+		TotalBoundPruned:  st.TotalBoundPruned,
+		TotalProbeConfigs: st.TotalProbeConfigs,
+		TotalWaves:        st.TotalWaves,
+		MaxQSize:          st.MaxQSize,
+		ElapsedNS:         st.Elapsed.Nanoseconds(),
 	}
 }
 
@@ -208,7 +227,7 @@ func planStatsOnWire(plan *planner.Plan) api.PlanStats {
 func planResponse(plan *planner.Plan) *api.PlanResponse {
 	out := &api.PlanResponse{
 		Nets:  make([]api.NetResult, len(plan.Nets)),
-		Stats: planStatsOnWire(plan),
+		Stats: planStatsOnWire(plan.Stats),
 	}
 	for i := range plan.Nets {
 		out.Nets[i] = netResultOnWire(&plan.Nets[i], plan.Grid)

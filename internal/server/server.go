@@ -585,6 +585,12 @@ func searchErr(err error) error {
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	// The NDJSON content type selects the streaming transport; everything
+	// else is the buffered JSON endpoint.
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, api.ContentTypeNDJSON) {
+		s.handlePlanStream(w, r)
+		return
+	}
 	start := time.Now()
 	m := s.cfg.Metrics
 	m.Requests.Inc()
@@ -706,7 +712,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 				s.fillNetResult(hashes[i], nr)
 			}
 		}
-		stats = planStatsOnWire(plan)
+		stats = planStatsOnWire(plan.Stats)
 		stats.NetsRouted += len(req.Nets) - len(missIdx)
 	}
 

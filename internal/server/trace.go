@@ -8,13 +8,18 @@ import (
 	"clockroute/internal/telemetry"
 )
 
-// statusWriter captures the response status for the span tree. Handlers
-// in this package answer with plain JSON bodies, so the extra interfaces
-// (Flusher, Hijacker) are deliberately not forwarded.
+// statusWriter captures the response status for the span tree. The extra
+// interfaces (Flusher, full-duplex control) are reached through Unwrap —
+// the http.ResponseController protocol — which the NDJSON plan stream
+// depends on for per-line flushing and for reading the request body while
+// writing results.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 }
+
+// Unwrap exposes the underlying writer to http.NewResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
