@@ -2,9 +2,9 @@
 # suite under the race detector (the parallel planner engine and the
 # telemetry sinks make -race load-bearing, not optional), and survive a
 # short fuzzing pass over every decoder that accepts untrusted bytes.
-.PHONY: tier1 build vet lint test race shuffle sweep fuzz-smoke chaos bench bench-core bench-telemetry bench-cache bench-check obs-demo tables
+.PHONY: tier1 build vet lint test race shuffle sweep fuzz-smoke chaos cluster-drill bench bench-core bench-telemetry bench-cache bench-check obs-demo tables
 
-tier1: build lint race shuffle chaos fuzz-smoke
+tier1: build lint race shuffle chaos cluster-drill fuzz-smoke
 
 build:
 	go build ./...
@@ -62,6 +62,18 @@ chaos:
 	FAULTPOINTS=core.wave_push=panic@100 go test -race -count=1 -run '^TestChaosEnvSmoke$$' ./internal/chaos
 	go test -race -count=1 ./internal/resultcache
 	go test -race -count=1 -run 'Cache|Conditional' ./internal/server
+
+# Cluster partition drills under the race detector: the coordinator's own
+# unit tests (hash ring, circuit breaker, per-backend exposition), the
+# differential battery proving a sharded plan is byte-identical to the
+# serial one through killed backends, mid-exchange faults, full
+# degradation to local routing, circuit recovery, and a mid-stream drain —
+# plus one env-armed run where FAULTPOINTS hard-partitions backend 0 at
+# the dial site for the whole process.
+cluster-drill:
+	go test -race -count=1 ./internal/coordinator
+	go test -race -count=1 -run '^TestCluster' ./internal/chaos
+	FAULTPOINTS=coord.dial.0=error go test -race -count=1 -run '^TestClusterEnvPartitionSmoke$$' ./internal/chaos
 
 # Reduced-scale paper benchmarks (Tables I-III, figures, ablations) plus
 # the parallel batch-routing benchmark.

@@ -73,6 +73,11 @@ func (h ProblemHash) String() string { return h.Hex() }
 // /v1/route and matched against If-None-Match.
 func (h ProblemHash) ETag() string { return `"` + h.Hex() + `"` }
 
+// Uint64 folds the hash to its first eight bytes (big-endian), the fixed
+// point a consistent-hashing ring keys on. SHA-256 output is uniform, so
+// the prefix is as well-distributed as the whole digest.
+func (h ProblemHash) Uint64() uint64 { return binary.BigEndian.Uint64(h[:8]) }
+
 // Problem is the versioned canonical form of one routing problem: every
 // field is normalized so that two requests meaning the same search
 // compare (and hash) equal.

@@ -181,6 +181,20 @@ func TestProblemHashRendering(t *testing.T) {
 	}
 }
 
+// TestProblemHashUint64 pins the ring key to the big-endian first eight
+// bytes of the digest: a silent change would remap every net's shard.
+func TestProblemHashUint64(t *testing.T) {
+	var h ProblemHash
+	copy(h[:], []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0xff})
+	if got, want := h.Uint64(), uint64(0x0102030405060708); got != want {
+		t.Fatalf("Uint64 = %#x, want %#x", got, want)
+	}
+	real := mustHash(t, validCanonRoute())
+	if real.Uint64() == 0 {
+		t.Fatal("real hash folded to zero (suspicious)")
+	}
+}
+
 func TestCacheOptionsValidate(t *testing.T) {
 	for _, ok := range []string{"", "default", "bypass", "refresh"} {
 		if err := (&CacheOptions{Mode: ok}).Validate(); err != nil {

@@ -1,0 +1,92 @@
+// The end-to-end tests against the real service handler live in an
+// external test package: internal/server now (transitively) imports
+// package client through the coordinator, so an in-package test importing
+// the server would be an import cycle.
+package client_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"clockroute/api"
+	"clockroute/client"
+	"clockroute/internal/server"
+	"clockroute/internal/telemetry"
+)
+
+// TestClientAgainstRealServer closes the loop: the typed client against
+// the real service handler end to end.
+func TestClientAgainstRealServer(t *testing.T) {
+	svc := server.New(server.Config{Metrics: telemetry.NewMetrics()})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	res, err := c.Route(context.Background(), &api.RouteRequest{
+		Grid:     api.GridSpec{W: 16, H: 16, PitchMM: 0.25},
+		Kind:     "rbp",
+		PeriodPS: 500,
+		Src:      api.Point{X: 1, Y: 1},
+		Dst:      api.Point{X: 14, Y: 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) == 0 {
+		t.Error("empty path")
+	}
+	plan, err := c.Plan(context.Background(), &api.PlanRequest{
+		Grid: api.GridSpec{W: 16, H: 16, PitchMM: 0.25},
+		Nets: []api.NetSpec{
+			{Name: "a", Src: api.Point{X: 1, Y: 1}, Dst: api.Point{X: 14, Y: 14}, SrcPeriodPS: 500, DstPeriodPS: 500},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Nets) != 1 || plan.Nets[0].Error != "" {
+		t.Errorf("plan %+v", plan)
+	}
+}
+
+// TestRouteConditionalAgainstRealServer drives the conditional-request
+// surface end to end: first call yields an ETag and a miss, an identical
+// call hits the server's result cache, and revalidating with the held
+// ETag returns 304 with no body.
+func TestRouteConditionalAgainstRealServer(t *testing.T) {
+	svc := server.New(server.Config{Metrics: telemetry.NewMetrics(), CacheMaxBytes: 1 << 20})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	req := &api.RouteRequest{
+		Grid:     api.GridSpec{W: 16, H: 16, PitchMM: 0.25},
+		Kind:     "rbp",
+		PeriodPS: 500,
+		Src:      api.Point{X: 1, Y: 1},
+		Dst:      api.Point{X: 14, Y: 14},
+	}
+
+	res, info, err := c.RouteConditional(context.Background(), req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || info.Hit || info.NotModified || info.ETag == "" {
+		t.Fatalf("cold call: res=%v info=%+v", res != nil, info)
+	}
+
+	res2, info2, err := c.RouteConditional(context.Background(), req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 == nil || !info2.Hit || !res2.Cached || info2.ETag != info.ETag {
+		t.Fatalf("warm call: cached=%v info=%+v", res2 != nil && res2.Cached, info2)
+	}
+
+	res3, info3, err := c.RouteConditional(context.Background(), req, info.ETag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3 != nil || !info3.NotModified || !info3.Hit {
+		t.Fatalf("revalidation: res=%v info=%+v", res3 != nil, info3)
+	}
+}

@@ -22,6 +22,30 @@ import (
 // WithMaxAttempts(1).
 type NetSource func(emit func(api.NetSpec) error) error
 
+// StreamError reports a streamed plan that failed after the server had
+// committed to it: the error trailer, a truncated or unreadable stream, or
+// an upload fault mid-exchange. Delivered counts the results fn consumed
+// before the fault — every one of them is valid — so callers can tell a
+// clean short stream (no error at all) from a truncated one, and resume
+// logic knows exactly how much of the plan already answered. Errors from
+// fn itself are returned as-is, never wrapped: aborting one's own stream
+// is not a transport fault.
+type StreamError struct {
+	// Delivered is the number of results handed to fn before the fault.
+	Delivered int
+	// Err is the underlying fault: the server's trailer message, a decode
+	// error, or the transport error that cut the stream.
+	Err error
+}
+
+// Error implements error.
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("client: stream failed after %d results: %v", e.Delivered, e.Err)
+}
+
+// Unwrap exposes the underlying fault to errors.Is/As.
+func (e *StreamError) Unwrap() error { return e.Err }
+
 // NetsFromSlice adapts a fixed net list into a (trivially replayable)
 // NetSource.
 func NetsFromSlice(nets []api.NetSpec) NetSource {
@@ -52,7 +76,9 @@ func NetsFromSlice(nets []api.NetSpec) NetSource {
 // trace identity across attempts — but only before the stream opens: a
 // refusal (429 shed, 503 drain) arrives as a plain HTTP status and the
 // whole exchange is replayed, while after the first 200 byte the server
-// has committed results and a mid-stream failure is returned as-is.
+// has committed results and a mid-stream failure is returned as a
+// *StreamError carrying the count of results delivered before the fault.
+// Only errors returned by fn itself come back unwrapped.
 func (c *Client) PlanStream(ctx context.Context, hdr *api.PlanStreamHeader, nets NetSource, fn func(api.NetResult) error) (*api.PlanStats, error) {
 	// One trace identity per call, shared by every retry attempt, exactly
 	// as in post.
@@ -141,6 +167,11 @@ func (c *Client) planStreamOnce(ctx context.Context, hdr *api.PlanStreamHeader, 
 		return nil, false, apiErr
 	}
 
+	// From here on the stream is committed: any transport-level fault is
+	// wrapped in a *StreamError carrying how many results already landed.
+	delivered := 0
+	streamFault := func(err error) error { return &StreamError{Delivered: delivered, Err: err} }
+
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), api.MaxLineBytes)
 	for sc.Scan() {
@@ -155,26 +186,27 @@ func (c *Client) planStreamOnce(ctx context.Context, hdr *api.PlanStreamHeader, 
 				select {
 				case werr := <-writeErr:
 					if werr != nil {
-						return nil, true, fmt.Errorf("client: stream upload: %w", werr)
+						return nil, true, streamFault(fmt.Errorf("stream upload: %w", werr))
 					}
 				default:
 				}
-				return nil, true, fmt.Errorf("client: stream failed: %s", t.Error)
+				return nil, true, streamFault(fmt.Errorf("stream failed: %s", t.Error))
 			}
 			return t.Stats, true, nil
 		}
 		var nr api.NetResult
 		if err := json.Unmarshal(line, &nr); err != nil {
-			return nil, true, fmt.Errorf("client: decode result line: %w", err)
+			return nil, true, streamFault(fmt.Errorf("decode result line: %w", err))
 		}
 		if err := fn(nr); err != nil {
-			return nil, true, err
+			return nil, true, err // the caller's own abort, not a stream fault
 		}
+		delivered++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, true, fmt.Errorf("client: read stream: %w", err)
+		return nil, true, streamFault(fmt.Errorf("read stream: %w", err))
 	}
-	return nil, true, errors.New("client: stream ended without a trailer")
+	return nil, true, streamFault(errors.New("stream ended without a trailer"))
 }
 
 // decodeTrailer reports whether line is the stream's trailer. NetResult

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -126,6 +127,65 @@ func TestPlanStreamDoesNotRetryAfterOpen(t *testing.T) {
 	if calls.Load() != 1 {
 		t.Fatalf("calls = %d: a committed stream must not be retried", calls.Load())
 	}
+}
+
+// TestPlanStreamTypedStreamError: every post-commit fault surfaces as a
+// *StreamError carrying how many results fn consumed before it, with the
+// underlying fault reachable through Unwrap.
+func TestPlanStreamTypedStreamError(t *testing.T) {
+	t.Run("error trailer", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+			enc := json.NewEncoder(w)
+			enc.Encode(api.NetResult{Name: "n0", LatencyPS: 1000})
+			enc.Encode(api.NetResult{Name: "n1", LatencyPS: 1000})
+			enc.Encode(api.PlanStreamTrailer{Error: "backend exploded"})
+		}))
+		defer ts.Close()
+		c := New(ts.URL, WithMaxAttempts(1))
+		got := 0
+		_, err := c.PlanStream(context.Background(), streamTestHeader(),
+			NetsFromSlice(streamTestNets(2)), func(api.NetResult) error { got++; return nil })
+		var se *StreamError
+		if !errors.As(err, &se) {
+			t.Fatalf("err = %v (%T), want *StreamError", err, err)
+		}
+		if se.Delivered != 2 || got != 2 {
+			t.Fatalf("Delivered = %d (fn saw %d), want 2", se.Delivered, got)
+		}
+		if !strings.Contains(se.Error(), "after 2 results") || !strings.Contains(se.Error(), "backend exploded") {
+			t.Fatalf("message %q", se.Error())
+		}
+	})
+	t.Run("truncated stream", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+			json.NewEncoder(w).Encode(api.NetResult{Name: "n0", LatencyPS: 1000})
+		}))
+		defer ts.Close()
+		c := New(ts.URL, WithMaxAttempts(1))
+		_, err := c.PlanStream(context.Background(), streamTestHeader(),
+			NetsFromSlice(streamTestNets(1)), func(api.NetResult) error { return nil })
+		var se *StreamError
+		if !errors.As(err, &se) {
+			t.Fatalf("err = %v (%T), want *StreamError", err, err)
+		}
+		if se.Delivered != 1 {
+			t.Fatalf("Delivered = %d, want 1", se.Delivered)
+		}
+	})
+	t.Run("caller abort is not wrapped", func(t *testing.T) {
+		ts := httptest.NewServer(fakeStreamHandler(t))
+		defer ts.Close()
+		c := New(ts.URL, WithMaxAttempts(1))
+		sentinel := fmt.Errorf("enough")
+		_, err := c.PlanStream(context.Background(), streamTestHeader(),
+			NetsFromSlice(streamTestNets(3)), func(api.NetResult) error { return sentinel })
+		var se *StreamError
+		if errors.As(err, &se) {
+			t.Fatalf("caller abort wrapped in *StreamError: %v", err)
+		}
+	})
 }
 
 // TestPlanStreamCallerAbort: fn's error stops the stream and surfaces.

@@ -9,8 +9,16 @@
 //	routed -addr :8080 -max-inflight 8 -max-queue 16 -request-timeout 10s
 //	routed -addr :8080 -metrics-addr 127.0.0.1:9090 -trace routed.jsonl -v
 //	routed -addr :8080 -cache-mb 128 -cache-dir /var/lib/routed/cache
+//	routed -addr :8080 -backends http://w1:8080,http://w2:8080,http://w3:8080
 //	routed cache stats|snapshot|load -addr 127.0.0.1:8080
 //	routed cache diff old-dir new-dir
+//
+// With -backends, the process runs as a sharding coordinator: streamed
+// /v1/plan requests are distributed across the listed workers by
+// consistent hashing on each net's canonical problem hash, with
+// per-backend circuit breakers, failover re-routing, and in-process
+// degraded routing when every backend is down (see internal/coordinator).
+// Buffered /v1/route and /v1/plan keep routing locally.
 //
 // Admission control sheds load with 429 + Retry-After once the in-flight
 // and queue limits are both full. On SIGINT/SIGTERM the server drains:
@@ -41,10 +49,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"clockroute/internal/cliutil"
+	"clockroute/internal/coordinator"
 	"clockroute/internal/faultpoint"
 	"clockroute/internal/server"
 	"clockroute/internal/telemetry"
@@ -66,6 +76,11 @@ func main() {
 		workers      = flag.Int("workers", 0, "max concurrent searches per /v1/plan batch (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight searches are aborted")
 		cacheMB      = flag.Int64("cache-mb", 64, "result-cache byte budget in MiB (0 = caching off)")
+		backends     = flag.String("backends", "", "comma-separated backend URLs; when set, streamed /v1/plan shards across them (coordinator mode)")
+		beInflight   = flag.Int("backend-inflight", 0, "nets queued per backend before dispatch backpressures (0 = 32)")
+		circFails    = flag.Int("circuit-failures", 0, "consecutive exchange failures that open a backend circuit (0 = 3)")
+		circCooldown = flag.Duration("circuit-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = 5s)")
+		probeEvery   = flag.Duration("probe-interval", 10*time.Second, "background /healthz probing of non-closed backends (0 = off)")
 		cacheDir     = flag.String("cache-dir", "", "directory for cache snapshot segments; loaded at boot, written by 'routed cache snapshot' (empty = in-memory only)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /progress, /debug/slow, and /debug/pprof on this address (empty = off)")
 		slowMS       = flag.Int("slow-ms", 500, "slow-request SLO in milliseconds: slower requests are kept for /debug/slow and persisted to -trace (0 = off)")
@@ -94,6 +109,10 @@ func main() {
 	v.NonNegativeDuration("drain-timeout", *drainTimeout)
 	v.NonNegativeInt("cache-mb", int(*cacheMB))
 	v.NonNegativeInt("slow-ms", *slowMS)
+	v.NonNegativeInt("backend-inflight", *beInflight)
+	v.NonNegativeInt("circuit-failures", *circFails)
+	v.NonNegativeDuration("circuit-cooldown", *circCooldown)
+	v.NonNegativeDuration("probe-interval", *probeEvery)
 	if err := v.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
@@ -128,6 +147,33 @@ func main() {
 		extra = append(extra, progress)
 	}
 
+	// Coordinator mode: with -backends set, streamed /v1/plan shards
+	// across the listed workers (buffered endpoints keep routing locally).
+	var coord *coordinator.Coordinator
+	if *backends != "" {
+		var urls []string
+		for _, u := range strings.Split(*backends, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		var err error
+		coord, err = coordinator.New(coordinator.Config{
+			Backends:         urls,
+			InFlight:         *beInflight,
+			FailureThreshold: *circFails,
+			Cooldown:         *circCooldown,
+			ProbeInterval:    *probeEvery,
+			Metrics:          telemetry.Default(),
+		})
+		if err != nil {
+			fail("coordinator", err)
+		}
+		coord.Start()
+		defer coord.Close()
+		log.Info("coordinator mode", "backends", urls)
+	}
+
 	svc := server.New(server.Config{
 		MaxInFlight:    *maxInflight,
 		MaxQueue:       *maxQueue,
@@ -139,6 +185,7 @@ func main() {
 		Metrics:        telemetry.Default(),
 		Sink:           telemetry.Multi(extra...),
 		SlowThreshold:  time.Duration(*slowMS) * time.Millisecond,
+		Coordinator:    coord,
 	})
 
 	// The metrics server comes up after the service is built so it can
@@ -147,12 +194,16 @@ func main() {
 	// abandoned to process exit.
 	var msrv *telemetry.Server
 	if *metricsAddr != "" {
+		promExtra := []func(io.Writer){svc.CachePrometheus()}
+		if coord != nil {
+			promExtra = append(promExtra, coord.WritePrometheus)
+		}
 		var err error
 		msrv, err = telemetry.NewServer(*metricsAddr, telemetry.ServerOptions{
 			Progress: progress,
 			Metrics:  telemetry.Default(),
 			Recorder: svc.FlightRecorder(),
-			Extra:    []func(io.Writer){svc.CachePrometheus()},
+			Extra:    promExtra,
 		})
 		if err != nil {
 			fail("metrics server", err)

@@ -1,0 +1,116 @@
+package coordinator
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit states, reported through /healthz and the coord_backend_up
+// series.
+const (
+	// StateClosed: the backend is healthy; traffic flows.
+	StateClosed = "closed"
+	// StateOpen: consecutive failures crossed the threshold; all traffic
+	// re-routes until the cooldown elapses.
+	StateOpen = "open"
+	// StateHalfOpen: the cooldown elapsed and exactly one probe exchange
+	// is allowed through; its outcome closes or reopens the circuit.
+	StateHalfOpen = "half-open"
+)
+
+// breaker is a per-backend circuit breaker. Closed it admits everything
+// and counts consecutive failures; at the threshold it opens and rejects
+// until cooldown has elapsed; then it half-opens, admitting a single probe
+// whose success closes the circuit and whose failure reopens it (with a
+// fresh cooldown). All transitions happen inside Allow/Success/Failure —
+// there is no background state machine to leak.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    string
+	failures int // consecutive
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, state: StateClosed}
+}
+
+// Allow reports whether one exchange may be sent to the backend. In the
+// half-open state it grants exactly one in-flight probe; concurrent
+// callers are rejected until that probe settles.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a clean exchange, closing the circuit.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = StateClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed exchange: a half-open probe reopens the
+// circuit immediately, a closed circuit opens once consecutive failures
+// reach the threshold.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == StateHalfOpen || b.failures >= b.threshold {
+		b.state = StateOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// State reports the current circuit state, resolving an elapsed open
+// cooldown as half-open so health output matches what Allow would do.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// Failures reports the consecutive-failure count.
+func (b *breaker) Failures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}

@@ -1,0 +1,277 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"clockroute/api"
+)
+
+// shardWorker owns one backend's traffic within a session. Its life is a
+// loop of exchanges (one client.PlanStream each); the first failed
+// exchange kills it — the replacement, if the circuit still admits
+// traffic, is spawned by the next dispatch. Death is what makes failover
+// exact: retire() collects every job the worker ever claimed, answered or
+// not, and pushes each back through dispatch, so the whole failed
+// exchange is re-routed and its nets' statistics are counted from exactly
+// one clean trailer elsewhere.
+type shardWorker struct {
+	s  *session
+	be *backend
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*job          // pushed, not yet claimed by an exchange
+	sent    []*job          // claimed by the current exchange, upload order
+	pending map[string]*job // claimed, no result yet, by net name
+	dead    bool
+}
+
+func newShardWorker(s *session, be *backend) *shardWorker {
+	w := &shardWorker{s: s, be: be}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// wake prods the worker's condition — used on session done and context
+// cancellation (blocking waits must observe both).
+func (w *shardWorker) wake() {
+	w.mu.Lock()
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// push queues j, blocking while the queue is at the in-flight bound (the
+// backpressure path). It reports false when the worker is dead or the
+// session canceled — the caller re-dispatches.
+func (w *shardWorker) push(j *job) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.dead || w.s.ctx.Err() != nil {
+			return false
+		}
+		if len(w.queue) < w.s.c.cfg.InFlight {
+			w.queue = append(w.queue, j)
+			w.cond.Broadcast()
+			return true
+		}
+		w.cond.Wait()
+	}
+}
+
+func (w *shardWorker) run() {
+	defer w.s.wg.Done()
+	stop := context.AfterFunc(w.s.ctx, w.wake)
+	defer stop()
+	for w.waitWork() {
+		w.exchange()
+	}
+	w.retire()
+}
+
+// waitWork blocks until there is a queued job to open an exchange for, or
+// the worker's life is over (dead, canceled, or the session settled).
+func (w *shardWorker) waitWork() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.dead || w.s.ctx.Err() != nil {
+			return false
+		}
+		if len(w.queue) > 0 {
+			return true
+		}
+		if w.s.done.Load() {
+			return false
+		}
+		w.cond.Wait()
+	}
+}
+
+// exchange runs one client.PlanStream against the backend, claiming queued
+// jobs into the upload as long as the session's input may still produce
+// work. A clean trailer settles every claimed job with the trailer's
+// stats; any fault marks the worker dead and leaves the claimed jobs for
+// retire to re-route. Panics (the coord.* failpoints' panic mode) are
+// contained as exchange failures.
+func (w *shardWorker) exchange() {
+	defer func() {
+		if v := recover(); v != nil {
+			w.fail(fmt.Errorf("coordinator: contained panic: %v\n%s", v, debug.Stack()))
+		}
+	}()
+	s := w.s
+	w.mu.Lock()
+	w.sent = w.sent[:0]
+	w.pending = make(map[string]*job)
+	w.mu.Unlock()
+
+	if err := checkPoint("coord.dial", w.be.idx); err != nil {
+		w.fail(err)
+		return
+	}
+
+	source := func(emit func(api.NetSpec) error) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("coordinator: contained panic: %v\n%s", v, debug.Stack())
+			}
+		}()
+		// Replay what this exchange already claimed: a pre-open refusal
+		// (429/503) re-runs the source from the start, and those jobs are
+		// ours until the exchange settles or dies.
+		w.mu.Lock()
+		replay := append([]*job(nil), w.sent...)
+		w.mu.Unlock()
+		for _, j := range replay {
+			if err := w.uploadOne(emit, j); err != nil {
+				return err
+			}
+		}
+		for {
+			j, ok := w.claim()
+			if !ok {
+				return nil
+			}
+			if err := w.uploadOne(emit, j); err != nil {
+				return err
+			}
+		}
+	}
+
+	fn := func(nr api.NetResult) error {
+		if err := checkPoint("coord.recv", w.be.idx); err != nil {
+			return err
+		}
+		w.mu.Lock()
+		j := w.pending[nr.Name]
+		if j != nil {
+			delete(w.pending, nr.Name)
+		}
+		w.mu.Unlock()
+		if j == nil {
+			return fmt.Errorf("coordinator: backend %s answered unknown net %q", w.be.url, nr.Name)
+		}
+		w.be.lat.Observe(float64(time.Since(j.sentAt)) / float64(time.Millisecond))
+		s.emitResult(nr)
+		return nil
+	}
+
+	stats, err := w.be.cli.PlanStream(s.ctx, s.hdr, source, fn)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	w.mu.Lock()
+	unanswered := len(w.pending)
+	n := len(w.sent)
+	w.mu.Unlock()
+	if unanswered > 0 {
+		// A clean trailer guarantees one result per uploaded net; missing
+		// answers mean the backend is broken, so treat the whole exchange
+		// as failed and re-route it.
+		w.fail(fmt.Errorf("coordinator: backend %s: clean trailer with %d unanswered nets", w.be.url, unanswered))
+		return
+	}
+	w.mu.Lock()
+	w.sent = nil
+	w.pending = nil
+	w.mu.Unlock()
+	w.be.br.Success()
+	var st api.PlanStats
+	if stats != nil {
+		st = *stats
+	}
+	s.settle(n, &st)
+}
+
+// claim pops the next queued job into the current exchange — queue
+// removal and sent/pending recording are one critical section, so a
+// retiring worker always sees every claimed job. It blocks while the
+// queue is empty but input (or failover) may still produce work, and
+// reports false once this exchange's upload should end.
+func (w *shardWorker) claim() (*job, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.dead || w.s.ctx.Err() != nil {
+			return nil, false
+		}
+		if len(w.queue) > 0 {
+			j := w.queue[0]
+			w.queue = w.queue[1:]
+			w.sent = append(w.sent, j)
+			w.pending[j.spec.Name] = j
+			j.sentAt = time.Now()
+			w.cond.Broadcast() // a push may be blocked on the bound
+			return j, true
+		}
+		if w.s.inputDone.Load() {
+			// No failover can add work for a finished exchange either: jobs
+			// re-routed later go to a successor worker's exchange.
+			return nil, false
+		}
+		w.cond.Wait()
+	}
+}
+
+// uploadOne sends one claimed job up the exchange, checking the
+// coord.send failpoint first (an injected error fails the exchange with
+// the job already recorded as claimed, so it re-routes).
+func (w *shardWorker) uploadOne(emit func(api.NetSpec) error, j *job) error {
+	if err := checkPoint("coord.send", w.be.idx); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	j.sentAt = time.Now()
+	w.mu.Unlock()
+	return emit(j.spec)
+}
+
+// fail marks the worker dead after a failed exchange. The circuit takes
+// the failure only when the session itself is still live — a canceled
+// context fails every exchange without telling us anything about backend
+// health.
+func (w *shardWorker) fail(err error) {
+	if w.s.ctx.Err() == nil {
+		w.be.br.Failure()
+		w.be.setErr(err)
+	}
+	w.mu.Lock()
+	w.dead = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// retire runs once, when the worker's loop exits: it collects every job
+// still claimed or queued, removes the worker from the session, and
+// settles the leftovers — re-routed through dispatch on a live session
+// (the failover path), aborted on a canceled one. A worker that died
+// cleanly (session done) has nothing to collect.
+func (w *shardWorker) retire() {
+	s := w.s
+	w.mu.Lock()
+	w.dead = true
+	jobs := make([]*job, 0, len(w.sent)+len(w.queue))
+	jobs = append(jobs, w.sent...)
+	jobs = append(jobs, w.queue...)
+	w.sent, w.queue, w.pending = nil, nil, nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+
+	s.removeWorker(w)
+
+	for _, j := range jobs {
+		if s.ctx.Err() != nil {
+			s.abortJob(j)
+			continue
+		}
+		j.attempted[w.be.idx] = true
+		s.c.m.CoordFailovers.Inc()
+		s.dispatch(j)
+	}
+}

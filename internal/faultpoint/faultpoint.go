@@ -1,9 +1,12 @@
 // Package faultpoint is the fault-injection registry of the routing
 // system: a set of named failpoints compiled into the hot paths (arena
-// growth, wave pushes, sink writes, request decoding) that can be armed at
-// run time to inject panics, errors, or delays. The chaos suite uses it to
-// prove that a panic in one search degrades exactly one net, never the
-// process.
+// growth, wave pushes, sink writes, request decoding) and the cluster
+// edges (the coordinator's coord.dial, coord.send, and coord.recv sites,
+// each also addressable per backend as coord.dial.0 and so on) that can be
+// armed at run time to inject panics, errors, or delays. The chaos suite
+// uses it to prove that a panic in one search degrades exactly one net,
+// never the process, and that a partitioned backend degrades exactly one
+// shard, never the plan.
 //
 // When no failpoint is armed the entire subsystem costs one atomic load
 // per site — Check and Must return immediately — so the instrumented hot

@@ -10,29 +10,20 @@ import (
 	"clockroute/internal/geom"
 	"clockroute/internal/grid"
 	"clockroute/internal/planner"
+	"clockroute/internal/planwire"
 	"clockroute/internal/route"
 	"clockroute/internal/tech"
 	"clockroute/internal/telemetry"
 )
 
-// buildGrid materializes a validated GridSpec. api.Validate has already
-// bounded the dimensions, so grid.New cannot be handed panic-worthy input.
-func buildGrid(spec *api.GridSpec) (*grid.Grid, error) {
-	g, err := grid.New(spec.W, spec.H, spec.PitchMM)
-	if err != nil {
-		return nil, fmt.Errorf("server: grid: %w", err)
-	}
-	for _, r := range spec.Obstacles {
-		g.AddObstacle(geom.R(r.X0, r.Y0, r.X1, r.Y1))
-	}
-	for _, r := range spec.RegisterBlockages {
-		g.AddRegisterBlockage(geom.R(r.X0, r.Y0, r.X1, r.Y1))
-	}
-	for _, r := range spec.WiringBlockages {
-		g.AddWiringBlockage(geom.R(r.X0, r.Y0, r.X1, r.Y1))
-	}
-	return g, nil
-}
+// The wire/engine conversion helpers live in internal/planwire so the
+// sharding coordinator's local degraded path renders results through
+// exactly the same code as these handlers. The thin aliases below keep the
+// server package's historical surface (tests and tools call server.GateName
+// and friends) without duplicating any conversion logic.
+
+// buildGrid materializes a validated GridSpec.
+func buildGrid(spec *api.GridSpec) (*grid.Grid, error) { return planwire.BuildGrid(spec) }
 
 // buildRoute turns a decoded RouteRequest into a core problem and request.
 func buildRoute(req *api.RouteRequest, tc *tech.Tech) (*core.Problem, core.Request, error) {
@@ -75,7 +66,7 @@ func buildPlan(req *api.PlanRequest, tc *tech.Tech, sink telemetry.Sink) (*plann
 	}
 	specs := make([]planner.NetSpec, len(req.Nets))
 	for i := range req.Nets {
-		specs[i] = specFromNet(&req.Nets[i])
+		specs[i] = planwire.SpecFromNet(&req.Nets[i])
 	}
 	return pl, specs, nil
 }
@@ -83,79 +74,21 @@ func buildPlan(req *api.PlanRequest, tc *tech.Tech, sink telemetry.Sink) (*plann
 // buildStreamPlanner is buildPlan for the NDJSON transport, where the nets
 // are not known yet: just the planner over the header's grid.
 func buildStreamPlanner(spec *api.GridSpec, tc *tech.Tech, sink telemetry.Sink) (*planner.Planner, error) {
-	g, err := buildGrid(spec)
-	if err != nil {
-		return nil, err
-	}
-	pl, err := planner.NewFromGrid(g, tc, core.Options{Telemetry: sink})
-	if err != nil {
-		return nil, fmt.Errorf("server: planner: %w", err)
-	}
-	return pl, nil
+	return planwire.NewStreamPlanner(spec, tc, sink)
 }
 
 // specFromNet converts one wire net into a planner spec.
-func specFromNet(n *api.NetSpec) planner.NetSpec {
-	return planner.NetSpec{
-		Name:        n.Name,
-		Src:         geom.Pt(n.Src.X, n.Src.Y),
-		Dst:         geom.Pt(n.Dst.X, n.Dst.Y),
-		SrcPeriodPS: n.SrcPeriodPS,
-		DstPeriodPS: n.DstPeriodPS,
-		WireWidths:  n.WireWidths,
-	}
-}
+func specFromNet(n *api.NetSpec) planner.NetSpec { return planwire.SpecFromNet(n) }
 
-// GateName renders a gate label for the wire: "" for plain wire, "reg",
-// "fifo", "latch", or "buf<N>" for buffer N of the technology library.
-func GateName(g candidate.Gate) string {
-	switch {
-	case g == candidate.GateNone:
-		return ""
-	case g == candidate.GateRegister:
-		return "reg"
-	case g == candidate.GateFIFO:
-		return "fifo"
-	case g == candidate.GateLatch:
-		return "latch"
-	case g >= 0:
-		return fmt.Sprintf("buf%d", int(g))
-	}
-	return fmt.Sprintf("gate(%d)", int(g))
-}
+// GateName renders a gate label for the wire (see planwire.GateName).
+func GateName(g candidate.Gate) string { return planwire.GateName(g) }
 
-// ParseGate is the inverse of GateName, used by clients (and the e2e
-// tests) to rebuild a route.Path from a response for re-verification.
-func ParseGate(s string) (candidate.Gate, error) {
-	switch s {
-	case "":
-		return candidate.GateNone, nil
-	case "reg":
-		return candidate.GateRegister, nil
-	case "fifo":
-		return candidate.GateFIFO, nil
-	case "latch":
-		return candidate.GateLatch, nil
-	}
-	var n int
-	if _, err := fmt.Sscanf(s, "buf%d", &n); err != nil || n < 0 {
-		return 0, fmt.Errorf("server: unknown gate label %q", s)
-	}
-	return candidate.Gate(n), nil
-}
+// ParseGate is the inverse of GateName (see planwire.ParseGate).
+func ParseGate(s string) (candidate.Gate, error) { return planwire.ParseGate(s) }
 
 // pathOnWire renders a path's nodes and gate labels for a response.
 func pathOnWire(p *route.Path, g *grid.Grid) (pts []api.Point, gates []string) {
-	pts = make([]api.Point, len(p.Nodes))
-	gates = make([]string, len(p.Gates))
-	for i, n := range p.Nodes {
-		pt := g.At(n)
-		pts[i] = api.Point{X: pt.X, Y: pt.Y}
-	}
-	for i, gt := range p.Gates {
-		gates[i] = GateName(gt)
-	}
-	return pts, gates
+	return planwire.PathOnWire(p, g)
 }
 
 // routeResponse renders a search result.
@@ -184,44 +117,13 @@ func routeResponse(res *core.Result, g *grid.Grid) *api.RouteResponse {
 	return out
 }
 
-// netResultOnWire renders one routed net. The cache stores values of this
-// exact shape, so a cached hit and a fresh route are rendered by the same
-// code and cannot drift apart.
+// netResultOnWire renders one routed net (see planwire.NetResultOnWire).
 func netResultOnWire(n *planner.NetResult, g *grid.Grid) api.NetResult {
-	nr := api.NetResult{Name: n.Spec.Name, Mode: string(n.Mode), ElapsedNS: n.Elapsed.Nanoseconds()}
-	if n.Err != nil {
-		nr.Error = n.Err.Error()
-	} else {
-		nr.LatencyPS = n.LatencyPS
-		nr.SrcCycles = n.SrcCycles
-		nr.DstCycles = n.DstCycles
-		nr.Registers = n.Registers
-		nr.Buffers = n.Buffers
-		nr.WireMM = n.WireMM
-		nr.WireWidth = n.WireWidth
-		nr.Path, nr.Gates = pathOnWire(n.Path, g)
-	}
-	return nr
+	return planwire.NetResultOnWire(n, g)
 }
 
-// planStatsOnWire renders a batch's aggregate stats. They reflect work
-// actually performed this request; cached nets contribute nothing here
-// beyond the NetsRouted adjustment the handler applies.
-func planStatsOnWire(st planner.PlanStats) api.PlanStats {
-	return api.PlanStats{
-		Workers:           st.Workers,
-		NetsRouted:        st.NetsRouted,
-		NetsFailed:        st.NetsFailed,
-		TotalConfigs:      st.TotalConfigs,
-		TotalPushed:       st.TotalPushed,
-		TotalPruned:       st.TotalPruned,
-		TotalBoundPruned:  st.TotalBoundPruned,
-		TotalProbeConfigs: st.TotalProbeConfigs,
-		TotalWaves:        st.TotalWaves,
-		MaxQSize:          st.MaxQSize,
-		ElapsedNS:         st.Elapsed.Nanoseconds(),
-	}
-}
+// planStatsOnWire renders a batch's aggregate stats.
+func planStatsOnWire(st planner.PlanStats) api.PlanStats { return planwire.PlanStatsOnWire(st) }
 
 // planResponse renders a routed batch, keeping request order.
 func planResponse(plan *planner.Plan) *api.PlanResponse {

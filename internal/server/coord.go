@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"clockroute/api"
+	"clockroute/internal/coordinator"
+	"clockroute/internal/core"
+	"clockroute/internal/faultpoint"
+	"clockroute/internal/telemetry"
+)
+
+// handlePlanStreamCoord is the sharded counterpart of handlePlanStream:
+// the wire contract (header line in, spec lines in, result lines out in
+// completion order, one trailer) is identical byte-for-byte, but the nets
+// route on the coordinator's backends instead of the local planner. The
+// decode loop still validates and content-addresses every net here — the
+// coordinator receives only hashed, admissible work, and the hash doubles
+// as the net's shard key.
+//
+// The front end's own result cache is deliberately out of the loop: each
+// backend runs its cache against the results it computes, and serving or
+// filling a second copy here would double-count and could be poisoned by
+// a partially failed exchange. The chaos battery asserts the front-end
+// cache stays empty through every drill.
+func (s *Server) handlePlanStreamCoord(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.cfg.Metrics
+	m.Requests.Inc()
+	defer s.observeLatency(start)
+	rec := telemetry.RecorderFromContext(r.Context())
+
+	endDecode := rec.Phase("decode")
+	if err := faultpoint.Check("server.decode"); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	dec := api.NewPlanStreamDecoder(r.Body)
+	hdr, err := dec.Header()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	endDecode()
+
+	leave, ok := s.enter()
+	if !ok {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("server: shutting down"))
+		return
+	}
+	defer leave()
+
+	// Eager admission, as in handlePlanStream: the slot the coordinator
+	// holds bounds concurrent sharded plans, not local routing work.
+	endAdmission := rec.Phase("admission")
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.refuse(w, err)
+		return
+	}
+	defer release()
+	endAdmission()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	workers := hdr.Workers
+	if workers <= 0 || workers > s.cfg.MaxWorkers {
+		workers = s.cfg.MaxWorkers
+	}
+	ctx, cancel := s.requestContext(r.Context(), hdr.TimeoutMS)
+	defer cancel()
+
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", api.ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	sw := newStreamWriter(w)
+
+	netCh := make(chan coordinator.Net, 16)
+	var closeNets sync.Once
+	closeCh := func() { closeNets.Do(func() { close(netCh) }) }
+	statsCh := make(chan api.PlanStats, 1)
+	endSearch := rec.Phase("search")
+	go func() {
+		statsCh <- s.cfg.Coordinator.Plan(ctx, hdr, workers, netCh, func(nr api.NetResult) {
+			sw.writeLine(nr)
+		})
+	}()
+
+	// Same containment contract as the local stream handler: a panic in
+	// the decode loop must drain the coordinator session before the error
+	// trailer goes out, or the session leaks on the open channel.
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if v == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity, per net/http contract
+			closeCh()
+			<-statsCh
+			panic(v)
+		}
+		s.panics.Add(1)
+		m.RequestPanics.Inc()
+		closeCh()
+		<-statsCh
+		endSearch()
+		sw.trailerError(m, core.NewInternalError(v, debug.Stack()))
+	}()
+
+	seen := make(map[string]bool)
+	var streamErr error
+decode:
+	for {
+		n, err := dec.Next(&hdr.Grid)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if seen[n.Name] {
+			streamErr = fmt.Errorf("api: duplicate net name %q", n.Name)
+			break
+		}
+		seen[n.Name] = true
+		p, err := api.CanonicalizeNet(&hdr.Grid, n)
+		if err != nil {
+			streamErr = err
+			break
+		}
+		h := p.Hash()
+		rec.SetNetAttr(n.Name, "problem_hash", h.Hex())
+		select {
+		case netCh <- coordinator.Net{Spec: *n, Hash: h}:
+		case <-ctx.Done():
+			streamErr = fmt.Errorf("server: stream aborted: %w", context.Cause(ctx))
+			break decode
+		}
+	}
+	closeCh()
+	stats := <-statsCh
+	endSearch()
+
+	endEncode := rec.Phase("encode")
+	defer endEncode()
+	if streamErr != nil {
+		sw.trailerError(m, streamErr)
+		return
+	}
+	sw.writeLine(api.PlanStreamTrailer{Stats: &stats})
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"clockroute/api"
+	"clockroute/internal/coordinator"
 	"clockroute/internal/core"
 	"clockroute/internal/faultpoint"
 	"clockroute/internal/planner"
@@ -88,6 +89,13 @@ type Config struct {
 	// threshold: one slow request is an outlier, an unbroken run is an
 	// instance in trouble. Zero disables the slow-driven degraded state.
 	SlowDegradeThreshold int
+	// Coordinator, when non-nil, turns this instance into the sharding
+	// front end of a cluster: streamed /v1/plan requests are distributed
+	// across its backends (see internal/coordinator) while the buffered
+	// endpoints keep routing in-process. /healthz then reports each
+	// backend's circuit state. The caller owns the coordinator's
+	// lifecycle (Start/Close).
+	Coordinator *coordinator.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -383,6 +391,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		body["slow_requests"] = s.flightRec.Slow()
 		body["slo_ms"] = float64(s.flightRec.SLO()) / float64(time.Millisecond)
 	}
+	if c := s.cfg.Coordinator; c != nil {
+		body["backends"] = c.States()
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -586,8 +597,14 @@ func searchErr(err error) error {
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// The NDJSON content type selects the streaming transport; everything
-	// else is the buffered JSON endpoint.
+	// else is the buffered JSON endpoint. A configured coordinator takes
+	// over the streaming transport — the wire contract is identical, the
+	// nets just route on the backends instead of in-process.
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, api.ContentTypeNDJSON) {
+		if s.cfg.Coordinator != nil {
+			s.handlePlanStreamCoord(w, r)
+			return
+		}
 		s.handlePlanStream(w, r)
 		return
 	}

@@ -183,6 +183,14 @@ type Metrics struct {
 	CacheMisses    Counter
 	CacheEvictions Counter
 	CacheBytes     Gauge
+	// Coordinator counters, maintained by internal/coordinator: nets
+	// re-routed off a failed backend exchange, and nets routed in-process
+	// because no healthy backend would take them (the bottom of the
+	// degradation ladder). Per-backend circuit and latency series live on
+	// the Coordinator itself and are rendered through its WritePrometheus
+	// extra writer.
+	CoordFailovers     Counter
+	CoordDegradedLocal Counter
 	// RequestLatencyMS buckets each request's wall time in milliseconds.
 	RequestLatencyMS *Histogram
 
@@ -273,6 +281,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		"cache_misses":    m.CacheMisses.Value(),
 		"cache_evictions": m.CacheEvictions.Value(),
 		"cache_bytes":     m.CacheBytes.Value(),
+
+		"coord_failovers":      m.CoordFailovers.Value(),
+		"coord_degraded_local": m.CoordDegradedLocal.Value(),
 	}
 	if m.NetLatencyMS != nil {
 		out["net_latency_ms"] = m.NetLatencyMS.snapshot()

@@ -86,6 +86,8 @@ func WritePrometheus(w io.Writer, m *Metrics, extras ...func(io.Writer)) {
 		promCounter(w, "clockroute_cache_misses_total", "Result-cache misses.", m.CacheMisses.Value())
 		promCounter(w, "clockroute_cache_evictions_total", "Result-cache entries evicted by the byte budget.", m.CacheEvictions.Value())
 		promGauge(w, "clockroute_cache_bytes", "Result-cache live byte footprint.", float64(m.CacheBytes.Value()))
+		promCounter(w, "clockroute_coord_failovers_total", "Nets re-routed off a failed backend exchange.", m.CoordFailovers.Value())
+		promCounter(w, "clockroute_coord_degraded_local_total", "Nets routed in-process because no healthy backend would take them.", m.CoordDegradedLocal.Value())
 		if m.NetLatencyMS != nil {
 			promHistogram(w, "clockroute_net_latency_ms", "Per-net routing wall time in milliseconds.", m.NetLatencyMS)
 		}

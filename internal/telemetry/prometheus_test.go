@@ -153,6 +153,8 @@ func TestWritePrometheus(t *testing.T) {
 	m.Searches.Add(5)
 	m.CacheHits.Add(3)
 	m.NetsInFlight.Set(2)
+	m.CoordFailovers.Add(4)
+	m.CoordDegradedLocal.Add(2)
 	for _, v := range []float64{0.5, 3, 3, 900, 1e6} {
 		m.RequestLatencyMS.Observe(v)
 		m.NetLatencyMS.Observe(v)
@@ -172,6 +174,12 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if f := fams["clockroute_nets_in_flight"]; f == nil || f.typ != "gauge" || f.samples["clockroute_nets_in_flight"] != 2 {
 		t.Errorf("nets_in_flight family wrong: %+v", f)
+	}
+	if f := fams["clockroute_coord_failovers_total"]; f == nil || f.typ != "counter" || f.samples["clockroute_coord_failovers_total"] != 4 {
+		t.Errorf("coord_failovers_total family wrong: %+v", f)
+	}
+	if f := fams["clockroute_coord_degraded_local_total"]; f == nil || f.typ != "counter" || f.samples["clockroute_coord_degraded_local_total"] != 2 {
+		t.Errorf("coord_degraded_local_total family wrong: %+v", f)
 	}
 	for _, h := range []string{"clockroute_request_latency_ms", "clockroute_net_latency_ms", "clockroute_gc_pause_seconds"} {
 		f := fams[h]
