@@ -229,6 +229,67 @@ func TestClusterShardedEqualsSerial(t *testing.T) {
 	}
 }
 
+// TestClusterPacedStreamCompletes regression-tests the end-of-input
+// wakeup. A client that uploads its next net only after the previous
+// result arrives leaves every shard worker idling inside an open
+// exchange — parked in its claim wait, having last observed the input
+// as still live — when the stream's upload ends. Plan must wake those
+// workers when the input closes; before the fix the workers slept
+// forever, their exchanges never closed their uploads, the backends
+// never sent trailers, and the stream hung awaiting its own trailer.
+func TestClusterPacedStreamCompletes(t *testing.T) {
+	checkGoroutines(t)
+	nets := clusterNets(2)
+	want, wantStats := serialPlan(t, nets)
+
+	backends := startBackends(t, 2)
+	svc, fts, _, _ := startFront(t, backendURLs(backends), nil)
+
+	answered := make(chan struct{}, len(nets))
+	source := func(emit func(api.NetSpec) error) error {
+		for _, n := range nets {
+			if err := emit(n); err != nil {
+				return err
+			}
+			select {
+			case <-answered:
+			case <-time.After(10 * time.Second):
+				return errors.New("paced source: no result within 10s")
+			}
+			// Give the answering worker time to park back in its claim
+			// wait before the next upload (or the end of input) arrives.
+			time.Sleep(20 * time.Millisecond)
+		}
+		return nil
+	}
+
+	var res []api.NetResult
+	var stats *api.PlanStats
+	done := make(chan error, 1)
+	go func() {
+		c := client.New(fts.URL, client.WithMaxAttempts(1))
+		st, err := c.PlanStream(context.Background(), clusterHeader(), source,
+			func(nr api.NetResult) error {
+				res = append(res, nr)
+				answered <- struct{}{}
+				return nil
+			})
+		stats = st
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("paced plan: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("paced stream hung: end of input never woke the shard workers")
+	}
+	assertResultsEqual(t, res, want)
+	assertStatsEqual(t, *stats, wantStats)
+	assertFrontCacheEmpty(t, svc)
+}
+
 // TestClusterKilledBackendFailsOver kills one backend before the plan: its
 // circuit opens on the first refused exchange and every net on its arc
 // fails over, with the output still byte-identical and /healthz reporting

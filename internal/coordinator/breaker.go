@@ -22,8 +22,10 @@ const (
 // and counts consecutive failures; at the threshold it opens and rejects
 // until cooldown has elapsed; then it half-opens, admitting a single probe
 // whose success closes the circuit and whose failure reopens it (with a
-// fresh cooldown). All transitions happen inside Allow/Success/Failure —
-// there is no background state machine to leak.
+// fresh cooldown); a probe whose exchange ends with no verdict is handed
+// back through ReturnProbe. All transitions happen inside
+// Allow/Success/Failure/ReturnProbe — there is no background state
+// machine to leak.
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
@@ -33,7 +35,8 @@ type breaker struct {
 	state    string
 	failures int // consecutive
 	openedAt time.Time
-	probing  bool // a half-open probe is in flight
+	probing  bool   // a half-open probe is in flight
+	probeGen uint64 // identifies the outstanding probe grant
 }
 
 func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
@@ -50,27 +53,51 @@ func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *br
 }
 
 // Allow reports whether one exchange may be sent to the backend. In the
-// half-open state it grants exactly one in-flight probe; concurrent
-// callers are rejected until that probe settles.
-func (b *breaker) Allow() bool {
+// half-open state it grants exactly one in-flight probe, identified by
+// the returned nonzero token; concurrent callers are rejected until that
+// probe settles. Every granted probe MUST be resolved — by Success, by
+// Failure, or by ReturnProbe(token) when the admitted exchange ends
+// without a verdict — or the circuit stays half-open refusing all
+// traffic, the health prober included.
+func (b *breaker) Allow() (ok bool, probe uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case StateClosed:
-		return true
+		return true, 0
 	case StateOpen:
 		if b.now().Sub(b.openedAt) < b.cooldown {
-			return false
+			return false, 0
 		}
 		b.state = StateHalfOpen
-		b.probing = true
-		return true
+		return true, b.grantProbe()
 	default: // half-open
 		if b.probing {
-			return false
+			return false, 0
 		}
-		b.probing = true
-		return true
+		return true, b.grantProbe()
+	}
+}
+
+// grantProbe marks the single half-open probe in flight and mints its
+// token. Callers hold b.mu.
+func (b *breaker) grantProbe() uint64 {
+	b.probing = true
+	b.probeGen++
+	return b.probeGen
+}
+
+// ReturnProbe returns an unresolved probe grant: the admitted exchange
+// ended without proving anything about the backend (its session context
+// was canceled, or the job never reached an exchange at all), so the
+// circuit stays half-open and a later Allow may grant a fresh probe.
+// Stale tokens — grants already resolved by Success or Failure — are
+// ignored, so a late return can never release a newer in-flight probe.
+func (b *breaker) ReturnProbe(token uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if token != 0 && b.probing && token == b.probeGen {
+		b.probing = false
 	}
 }
 

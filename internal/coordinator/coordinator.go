@@ -247,7 +247,9 @@ func (c *Coordinator) probeLoop() {
 // instead of a live exchange: a 200 closes the circuit before any real
 // net is risked on the backend.
 func (c *Coordinator) probeOne(be *backend) {
-	if !be.br.Allow() {
+	// The grant token is unneeded: this probe always resolves, with
+	// Success or Failure, before probeOne returns.
+	if ok, _ := be.br.Allow(); !ok {
 		return
 	}
 	resp, err := c.hc.Get(be.url + "/healthz")
@@ -291,6 +293,11 @@ type job struct {
 	hash      api.ProblemHash
 	attempted []bool    // per backend index
 	sentAt    time.Time // last upload, for the per-backend latency series
+	// probe is the half-open grant this job's admission consumed, if any.
+	// It travels with the job until an exchange claims it (claim moves it
+	// onto the worker, whose Success/Failure/ReturnProbe resolves it); a
+	// job that never reaches an exchange hands the grant back itself.
+	probe uint64
 }
 
 // Plan shards the nets arriving on nets across the backends, calling emit
@@ -322,6 +329,14 @@ func (c *Coordinator) Plan(ctx context.Context, hdr *api.PlanStreamHeader, worke
 		s.dispatch(j)
 	}
 	s.inputDone.Store(true)
+	// Wake every worker parked in claim()/waitWork(): one that last
+	// observed inputDone as false would otherwise sleep forever — its
+	// exchange never closes its upload, so its jobs never settle, and
+	// maybeDone (which only wakes workers once outstanding hits zero)
+	// can never be the one to rouse it. Snapshotting after the Store
+	// covers every waiter that missed the flag; workers spawned later
+	// re-check it before blocking.
+	s.wakeWorkers()
 	s.maybeDone()
 	s.wg.Wait()
 
@@ -380,22 +395,31 @@ func (s *session) dispatch(j *job) {
 		}
 		// The worker died between lookup and push; its circuit has taken
 		// the failure, so the next pick moves on (or spawns a successor).
+		// A probe grant this pick consumed never reached an exchange —
+		// hand it back or the circuit is stuck half-open forever.
+		if j.probe != 0 {
+			be.br.ReturnProbe(j.probe)
+			j.probe = 0
+		}
 	}
 }
 
 // pick walks the ring from j's hash, skipping backends already attempted
 // and circuits that refuse. A granted half-open probe is consumed here —
-// the exchange that follows is the probe.
+// the exchange that follows is the probe — and its token rides on the
+// job until that exchange claims or abandons it.
 func (s *session) pick(j *job) *backend {
 	var chosen *backend
 	s.c.ring.walk(j.hash.Uint64(), func(idx int) bool {
 		if j.attempted[idx] {
 			return true
 		}
-		if !s.c.backends[idx].br.Allow() {
+		ok, probe := s.c.backends[idx].br.Allow()
+		if !ok {
 			return true
 		}
 		chosen = s.c.backends[idx]
+		j.probe = probe
 		return false
 	})
 	return chosen
@@ -481,6 +505,14 @@ func (s *session) maybeDone() {
 		return
 	}
 	s.done.Store(true)
+	s.mu.Unlock()
+	s.wakeWorkers()
+}
+
+// wakeWorkers prods every live worker's condition so blocking waits
+// re-check inputDone/done/cancellation.
+func (s *session) wakeWorkers() {
+	s.mu.Lock()
 	ws := make([]*shardWorker, 0, len(s.workers))
 	for _, w := range s.workers {
 		ws = append(ws, w)

@@ -2,12 +2,19 @@ package coordinator
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"clockroute/api"
+	"clockroute/client"
 )
 
 func TestRingDeterministicAndBalanced(t *testing.T) {
@@ -86,8 +93,9 @@ func TestBreakerTransitions(t *testing.T) {
 	now := time.Unix(0, 0)
 	clock := func() time.Time { return now }
 	b := newBreaker(3, time.Second, clock)
+	allow := func() bool { ok, _ := b.Allow(); return ok }
 
-	if b.State() != StateClosed || !b.Allow() {
+	if b.State() != StateClosed || !allow() {
 		t.Fatal("new breaker must be closed and admitting")
 	}
 	b.Failure()
@@ -96,7 +104,7 @@ func TestBreakerTransitions(t *testing.T) {
 		t.Fatalf("state after 2 failures = %s, want closed", b.State())
 	}
 	b.Failure()
-	if b.State() != StateOpen || b.Allow() {
+	if b.State() != StateOpen || allow() {
 		t.Fatal("threshold failures must open the circuit")
 	}
 	if b.Failures() != 3 {
@@ -108,25 +116,135 @@ func TestBreakerTransitions(t *testing.T) {
 	if b.State() != StateHalfOpen {
 		t.Fatalf("state after cooldown = %s, want half-open", b.State())
 	}
-	if !b.Allow() {
+	if !allow() {
 		t.Fatal("half-open must grant one probe")
 	}
-	if b.Allow() {
+	if allow() {
 		t.Fatal("second concurrent probe granted")
 	}
 
 	// Probe fails: reopen with a fresh cooldown.
 	b.Failure()
-	if b.State() != StateOpen || b.Allow() {
+	if b.State() != StateOpen || allow() {
 		t.Fatal("failed probe must reopen the circuit")
 	}
 	now = now.Add(time.Second)
-	if !b.Allow() {
+	if !allow() {
 		t.Fatal("second cooldown must grant a probe again")
 	}
 	b.Success()
-	if b.State() != StateClosed || b.Failures() != 0 || !b.Allow() {
+	if b.State() != StateClosed || b.Failures() != 0 || !allow() {
 		t.Fatal("successful probe must close the circuit and reset failures")
+	}
+}
+
+// TestBreakerReturnProbe covers the verdict-free resolution path: a
+// returned grant frees the half-open circuit for a fresh probe, while a
+// stale token (its grant already resolved by Success or Failure) is
+// ignored, so a late return can never release someone else's probe.
+func TestBreakerReturnProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Second, func() time.Time { return now })
+
+	b.Failure() // threshold 1: open
+	now = now.Add(time.Second)
+	ok, tok := b.Allow()
+	if !ok || tok == 0 {
+		t.Fatalf("half-open Allow = (%v, %d), want a granted probe token", ok, tok)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second probe granted while the first is outstanding")
+	}
+
+	// The probe's exchange ends with no verdict: return the grant and the
+	// circuit must stay half-open and grant again.
+	b.ReturnProbe(tok)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after return = %s, want half-open", b.State())
+	}
+	ok2, tok2 := b.Allow()
+	if !ok2 || tok2 == 0 {
+		t.Fatal("returned grant did not free the circuit for a fresh probe")
+	}
+
+	// Stale return: tok belongs to a resolved grant and must not release
+	// the in-flight probe tok2.
+	b.ReturnProbe(tok)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("stale token released a newer in-flight probe")
+	}
+
+	// Failure resolves tok2 and reopens; a late return of tok2 must not
+	// flip probing under the open state either.
+	b.Failure()
+	b.ReturnProbe(tok2)
+	if b.State() != StateOpen {
+		t.Fatalf("state after failed probe = %s, want open", b.State())
+	}
+	now = now.Add(time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("cooldown after resolved probe must grant again")
+	}
+}
+
+// TestCanceledProbeExchangeReturnsGrant drives the leak the probe-token
+// plumbing exists to prevent: a half-open grant is consumed by a live
+// session whose context is then canceled mid-exchange. fail()
+// deliberately withholds the Failure verdict (a canceled context proves
+// nothing about backend health), so without ReturnProbe the circuit
+// would stay half-open with its single probe slot occupied forever —
+// refusing every future exchange and the health prober alike.
+func TestCanceledProbeExchangeReturnsGrant(t *testing.T) {
+	// A backend that never answers: draining the body without responding
+	// stalls the probe exchange until the session context tears it down
+	// (the read unblocks when the canceled client closes the connection).
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{
+		Backends:         []string{ts.URL},
+		FailureThreshold: 1,
+		Cooldown:         time.Millisecond,
+		ClientOptions:    []client.Option{client.WithMaxAttempts(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := c.backends[0].br
+	br.Failure()                     // threshold 1: circuit opens
+	time.Sleep(5 * time.Millisecond) // cooldown elapses: next Allow grants the probe
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hdr := &api.PlanStreamHeader{Grid: api.GridSpec{W: 8, H: 8, PitchMM: 0.25}}
+	nets := make(chan Net, 1)
+	nets <- Net{Spec: api.NetSpec{
+		Name: "n0",
+		Src:  api.Point{X: 1, Y: 1}, Dst: api.Point{X: 6, Y: 6},
+		SrcPeriodPS: 500, DstPeriodPS: 500,
+	}}
+	close(nets)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Plan(ctx, hdr, 1, nets, func(api.NetResult) {})
+	}()
+	time.Sleep(50 * time.Millisecond) // let the probe exchange reach the stalled backend
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Plan did not return after cancellation")
+	}
+
+	if st := br.State(); st != StateHalfOpen {
+		t.Fatalf("state after canceled probe exchange = %q, want half-open", st)
+	}
+	if ok, _ := br.Allow(); !ok {
+		t.Fatal("probe grant leaked: half-open circuit refuses a fresh probe after a canceled exchange")
 	}
 }
 

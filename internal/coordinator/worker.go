@@ -27,6 +27,7 @@ type shardWorker struct {
 	queue   []*job          // pushed, not yet claimed by an exchange
 	sent    []*job          // claimed by the current exchange, upload order
 	pending map[string]*job // claimed, no result yet, by net name
+	probe   uint64          // half-open grant the current exchange owes the circuit
 	dead    bool
 }
 
@@ -180,6 +181,7 @@ func (w *shardWorker) exchange() {
 	w.mu.Lock()
 	w.sent = nil
 	w.pending = nil
+	w.probe = 0 // Success resolves the grant below
 	w.mu.Unlock()
 	w.be.br.Success()
 	var st api.PlanStats
@@ -206,6 +208,12 @@ func (w *shardWorker) claim() (*job, bool) {
 			w.queue = w.queue[1:]
 			w.sent = append(w.sent, j)
 			w.pending[j.spec.Name] = j
+			if j.probe != 0 {
+				// The job's half-open grant now belongs to this exchange,
+				// whose Success/Failure (or fail's ReturnProbe) resolves it.
+				w.probe = j.probe
+				j.probe = 0
+			}
 			j.sentAt = time.Now()
 			w.cond.Broadcast() // a push may be blocked on the bound
 			return j, true
@@ -235,16 +243,22 @@ func (w *shardWorker) uploadOne(emit func(api.NetSpec) error, j *job) error {
 // fail marks the worker dead after a failed exchange. The circuit takes
 // the failure only when the session itself is still live — a canceled
 // context fails every exchange without telling us anything about backend
-// health.
+// health — but a half-open grant this exchange consumed must be resolved
+// either way: by the Failure verdict, or handed back verdict-free so the
+// circuit is not stuck half-open refusing all traffic.
 func (w *shardWorker) fail(err error) {
-	if w.s.ctx.Err() == nil {
-		w.be.br.Failure()
-		w.be.setErr(err)
-	}
 	w.mu.Lock()
+	probe := w.probe
+	w.probe = 0
 	w.dead = true
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	if w.s.ctx.Err() == nil {
+		w.be.br.Failure()
+		w.be.setErr(err)
+	} else if probe != 0 {
+		w.be.br.ReturnProbe(probe)
+	}
 }
 
 // retire runs once, when the worker's loop exits: it collects every job
@@ -266,6 +280,13 @@ func (w *shardWorker) retire() {
 	s.removeWorker(w)
 
 	for _, j := range jobs {
+		if j.probe != 0 {
+			// A queued job never claimed by an exchange still carries its
+			// admission's half-open grant; no verdict is coming, so hand
+			// the grant back before the job moves on.
+			w.be.br.ReturnProbe(j.probe)
+			j.probe = 0
+		}
 		if s.ctx.Err() != nil {
 			s.abortJob(j)
 			continue
